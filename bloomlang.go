@@ -1,0 +1,181 @@
+package bloomlang
+
+import (
+	"bloomlang/internal/bloom"
+	"bloomlang/internal/core"
+	"bloomlang/internal/corpus"
+	"bloomlang/internal/ctrank"
+	"bloomlang/internal/fpga"
+	"bloomlang/internal/hail"
+	"bloomlang/internal/ngram"
+)
+
+// Config carries the classifier parameters the paper studies (§4,
+// §5.2): n-gram length N, profile size TopT, hash count K, bit-vector
+// length MBits, plus the RNG seed and optional input subsampling.
+type Config = core.Config
+
+// DefaultConfig returns the paper's conservative operating point:
+// 4-grams, t=5000, k=4, m=16 Kbit.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// SpaceEfficientConfig returns the paper's most space-efficient
+// operating point (§5.2): k=6 hash functions and one 4 Kbit embedded
+// RAM per bit-vector, 24 Kbit per language, supporting thirty languages
+// on the target device.
+func SpaceEfficientConfig() Config {
+	cfg := core.DefaultConfig()
+	cfg.K = 6
+	cfg.MBits = 4 * 1024
+	return cfg
+}
+
+// ProfileSet is a trained set of per-language n-gram profiles.
+type ProfileSet = core.ProfileSet
+
+// Profile is one language's ranked n-gram profile.
+type Profile = ngram.Profile
+
+// Result is a single-document classification outcome.
+type Result = core.Result
+
+// Evaluation is an accuracy/confusion summary over a labelled test set.
+type Evaluation = core.Evaluation
+
+// Backend selects the membership structure used for match counting.
+type Backend = core.Backend
+
+// Membership backends: the paper's Parallel Bloom Filter, HAIL-style
+// exact direct lookup, and a classic single-vector Bloom filter for
+// ablations.
+const (
+	BackendBloom   = core.BackendBloom
+	BackendDirect  = core.BackendDirect
+	BackendClassic = core.BackendClassic
+)
+
+// Classifier tests document n-grams against every language profile and
+// reports match counts (§3.2).
+type Classifier = core.Classifier
+
+// Engine runs a Classifier over document sets with a goroutine worker
+// pool.
+type Engine = core.Engine
+
+// Train builds per-language profiles from a corpus's training split.
+func Train(cfg Config, corp *Corpus) (*ProfileSet, error) {
+	return core.Train(cfg, corp)
+}
+
+// TrainFromTexts builds profiles from raw training texts keyed by
+// language code.
+func TrainFromTexts(cfg Config, texts map[string][][]byte) (*ProfileSet, error) {
+	return core.TrainFromTexts(cfg, texts)
+}
+
+// NewClassifier builds a classifier over trained profiles with the
+// chosen membership backend.
+func NewClassifier(ps *ProfileSet, backend Backend) (*Classifier, error) {
+	return core.New(ps, backend)
+}
+
+// NewEngine wraps a classifier in a parallel document engine;
+// workers <= 0 means GOMAXPROCS.
+func NewEngine(c *Classifier, workers int) *Engine {
+	return core.NewEngine(c, workers)
+}
+
+// FalsePositiveRate returns the paper's §3.1 Parallel Bloom Filter
+// model f = (1 − e^(−N/m))^k.
+func FalsePositiveRate(n int, mBits uint32, k int) float64 {
+	return bloom.FalsePositiveRate(n, mBits, k)
+}
+
+// Corpus is a multilingual labelled document collection with train and
+// test splits.
+type Corpus = corpus.Corpus
+
+// CorpusConfig describes a synthetic corpus to generate.
+type CorpusConfig = corpus.Config
+
+// Document is one labelled text.
+type Document = corpus.Document
+
+// GenerateCorpus builds a synthetic JRC-Acquis-like corpus (see
+// internal/corpus for the substitution rationale).
+func GenerateCorpus(cfg CorpusConfig) (*Corpus, error) {
+	return corpus.Generate(cfg)
+}
+
+// PaperCorpusConfig returns the full-scale corpus shape of §5:
+// 10 languages × 5,700 documents × 1,300 words, 10% training split.
+// This generates roughly 450 MB of text.
+func PaperCorpusConfig() CorpusConfig { return corpus.PaperConfig() }
+
+// Languages returns the ten language codes of the paper's evaluation.
+func Languages() []string { return corpus.Languages() }
+
+// LanguageName returns the English name for a language code.
+func LanguageName(code string) string { return corpus.Name(code) }
+
+// ReadCorpusDir loads a corpus from the on-disk layout written by
+// (*Corpus).WriteDir or cmd/corpusgen.
+func ReadCorpusDir(root string) (*Corpus, error) { return corpus.ReadDir(root) }
+
+// CavnarTrenkle is the Mguesser-style software baseline (§5.5).
+type CavnarTrenkle = ctrank.Classifier
+
+// CavnarTrenkleConfig parameterizes the rank-order baseline.
+type CavnarTrenkleConfig = ctrank.Config
+
+// NewCavnarTrenkle trains the rank-order baseline on a corpus.
+func NewCavnarTrenkle(cfg CavnarTrenkleConfig, corp *Corpus) (*CavnarTrenkle, error) {
+	return ctrank.TrainCorpus(cfg, corp)
+}
+
+// HAIL is the competing FPGA design modelled functionally and
+// architecturally (§2, §5.5).
+type HAIL = hail.Classifier
+
+// HAILConfig parameterizes the HAIL model.
+type HAILConfig = hail.Config
+
+// DefaultHAILConfig returns the published HAIL operating point
+// (324 MB/sec on a Xilinx XCV2000E-8).
+func DefaultHAILConfig() HAILConfig { return hail.DefaultConfig() }
+
+// NewHAIL builds the HAIL model from trained profiles.
+func NewHAIL(cfg HAILConfig, ps *ProfileSet) (*HAIL, error) {
+	return hail.Build(cfg, ps.Profiles)
+}
+
+// FPGADevice describes an FPGA resource inventory.
+type FPGADevice = fpga.Device
+
+// EP2S180 returns the paper's target device.
+func EP2S180() FPGADevice { return fpga.EP2S180() }
+
+// ModuleConfig describes one classifier module for resource estimation.
+type ModuleConfig = fpga.ModuleConfig
+
+// ModuleReport is a modelled module synthesis result (Table 2).
+type ModuleReport = fpga.ModuleReport
+
+// SystemReport is a modelled device build (Table 3).
+type SystemReport = fpga.SystemReport
+
+// EstimateModule models one classifier module's synthesis (Table 2).
+func EstimateModule(cfg ModuleConfig, dev FPGADevice) (ModuleReport, error) {
+	return fpga.EstimateModule(cfg, dev)
+}
+
+// EstimateFPGASystem models a full-device build (Table 3).
+func EstimateFPGASystem(cfg ModuleConfig, dev FPGADevice) (SystemReport, error) {
+	return fpga.EstimateSystem(cfg, dev)
+}
+
+// MaxLanguages returns the number of languages supportable at 8
+// n-grams/clock after infrastructure overhead (§5.2).
+func MaxLanguages(k int, mBits uint32, dev FPGADevice) int {
+	return fpga.MaxLanguages(k, mBits, 4, dev)
+}

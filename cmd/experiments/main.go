@@ -1,0 +1,119 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§5), printing measured results alongside the
+// published numbers.
+//
+// Usage:
+//
+//	experiments [-scale small|default|large|paper] [-only 1|2|3|4|fig4|confusion]
+//
+// At the default scale the full run takes on the order of a minute;
+// -scale paper generates the full 484 MB corpus shape and takes much
+// longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bloomlang"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	scaleName := flag.String("scale", "default", "corpus scale: small, default, large or paper")
+	only := flag.String("only", "", "run a single experiment: 1, 2, 3, 4, fig4, confusion or subsample")
+	workers := flag.Int("workers", 0, "software parallelism (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	scale, figScale, err := scales(*scaleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scale.Workers = *workers
+	figScale.Workers = *workers
+
+	run := func(name string) bool { return *only == "" || *only == name }
+
+	if run("1") {
+		rows, err := bloomlang.RunTable1(scale)
+		if err != nil {
+			log.Fatalf("table 1: %v", err)
+		}
+		fmt.Println(bloomlang.FormatTable1(rows))
+	}
+	if run("2") {
+		rows, err := bloomlang.RunTable2()
+		if err != nil {
+			log.Fatalf("table 2: %v", err)
+		}
+		fmt.Println(bloomlang.FormatTable2(rows))
+	}
+	if run("3") {
+		rows, err := bloomlang.RunTable3()
+		if err != nil {
+			log.Fatalf("table 3: %v", err)
+		}
+		fmt.Println(bloomlang.FormatTable3(rows))
+	}
+	if run("fig4") {
+		fig, err := bloomlang.RunFigure4(figScale)
+		if err != nil {
+			log.Fatalf("figure 4: %v", err)
+		}
+		fmt.Println(bloomlang.FormatFigure4(fig))
+	}
+	if run("4") {
+		t4, err := bloomlang.RunTable4(figScale)
+		if err != nil {
+			log.Fatalf("table 4: %v", err)
+		}
+		fmt.Println(bloomlang.FormatTable4(t4))
+	}
+	if run("confusion") {
+		conf, err := bloomlang.RunConfusion(scale)
+		if err != nil {
+			log.Fatalf("confusion: %v", err)
+		}
+		fmt.Println(bloomlang.FormatConfusion(conf))
+	}
+	if run("subsample") {
+		rows, err := bloomlang.RunSubsampleAblation(scale)
+		if err != nil {
+			log.Fatalf("subsample: %v", err)
+		}
+		fmt.Println(bloomlang.FormatSubsampleAblation(rows))
+	}
+	if *only != "" && !validOnly(*only) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want 1, 2, 3, 4, fig4, confusion or subsample)\n", *only)
+		os.Exit(2)
+	}
+}
+
+func validOnly(s string) bool {
+	switch s {
+	case "1", "2", "3", "4", "fig4", "confusion", "subsample":
+		return true
+	}
+	return false
+}
+
+func scales(name string) (accuracy, throughput bloomlang.Scale, err error) {
+	switch name {
+	case "small":
+		s := bloomlang.Scale{DocsPerLanguage: 60, WordsPerDoc: 250, TrainFraction: 0.15, Seed: 1}
+		f := bloomlang.Scale{DocsPerLanguage: 25, WordsPerDoc: 1300, TrainFraction: 0.15, Seed: 1}
+		return s, f, nil
+	case "default":
+		return bloomlang.DefaultScale(), bloomlang.Figure4Scale(), nil
+	case "large":
+		s := bloomlang.Scale{DocsPerLanguage: 600, WordsPerDoc: 700, TrainFraction: 0.10, Seed: 1}
+		f := bloomlang.Scale{DocsPerLanguage: 200, WordsPerDoc: 1300, TrainFraction: 0.10, Seed: 1}
+		return s, f, nil
+	case "paper":
+		return bloomlang.PaperScale(), bloomlang.PaperScale(), nil
+	}
+	return accuracy, throughput, fmt.Errorf("unknown scale %q (want small, default, large or paper)", name)
+}

@@ -1,0 +1,224 @@
+// Command langid trains n-gram language profiles and classifies
+// documents, end to end in software — the paper's pipeline without the
+// hardware simulation.
+//
+// Train profiles from a corpus directory (see cmd/corpusgen):
+//
+//	langid train -corpus corpusdir -out profiles.bin [-n 4] [-t 5000]
+//
+// Classify files (or stdin when no files are given):
+//
+//	langid classify -profiles profiles.bin [-k 4] [-m 16384] [-backend bloom] file1.txt file2.txt
+//	echo "el consejo de la unión europea" | langid classify -profiles profiles.bin
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"bloomlang"
+	"bloomlang/internal/ngram"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("langid: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "train":
+		train(os.Args[2:])
+	case "classify":
+		classify(os.Args[2:])
+	case "eval":
+		eval(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: langid train|classify|eval [flags] [files...]")
+	os.Exit(2)
+}
+
+// eval scores trained profiles against a corpus directory's test split,
+// printing per-language accuracy and the confusion structure — the
+// §5.1 evaluation as a command.
+func eval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	corpusDir := fs.String("corpus", "", "corpus directory (corpusgen layout)")
+	profilePath := fs.String("profiles", "profiles.bin", "trained profile file")
+	k := fs.Int("k", 4, "hash functions per Bloom filter")
+	m := fs.Uint("m", 16*1024, "bits per Bloom filter vector (power of two)")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	if *corpusDir == "" {
+		log.Fatal("eval: -corpus is required")
+	}
+	corp, err := bloomlang.ReadCorpusDir(*corpusDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps, err := loadProfiles(*profilePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps.Config.K = *k
+	ps.Config.MBits = uint32(*m)
+	clf, err := bloomlang.NewClassifier(ps, bloomlang.BackendBloom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := bloomlang.NewEngine(clf, *workers)
+	rep := eng.Measure(corp.TestDocuments(""))
+	ev := eng.Evaluate(corp)
+	fmt.Printf("evaluated %d documents at %.1f MB/s with %d workers\n\n", ev.Docs, rep.MBPerSec(), eng.Workers())
+	fmt.Println("per-language accuracy:")
+	for _, lang := range ev.Languages {
+		if acc, ok := ev.PerLanguage[lang]; ok {
+			fmt.Printf("  %-3s %-12s %6.2f%%\n", lang, bloomlang.LanguageName(lang), 100*acc)
+		}
+	}
+	fmt.Printf("\naverage %.2f%% (min %.2f%%, max %.2f%%)\n", 100*ev.Average, 100*ev.Min, 100*ev.Max)
+	if truth, pred, n, ok := ev.TopConfusion(); ok {
+		fmt.Printf("top confusion: %s -> %s (%d docs)\n",
+			bloomlang.LanguageName(truth), bloomlang.LanguageName(pred), n)
+	}
+}
+
+func train(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	corpusDir := fs.String("corpus", "", "corpus directory (corpusgen layout)")
+	out := fs.String("out", "profiles.bin", "output profile file")
+	n := fs.Int("n", 4, "n-gram length")
+	t := fs.Int("t", 5000, "profile size (top-t n-grams)")
+	fs.Parse(args)
+	if *corpusDir == "" {
+		log.Fatal("train: -corpus is required")
+	}
+	corp, err := bloomlang.ReadCorpusDir(*corpusDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := bloomlang.DefaultConfig()
+	cfg.N = *n
+	cfg.TopT = *t
+	ps, err := bloomlang.Train(cfg, corp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	for _, p := range ps.Profiles {
+		if _, err := p.WriteTo(f); err != nil {
+			log.Fatalf("writing %s: %v", p.Language, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d profiles (n=%d, t=%d) -> %s\n", len(ps.Profiles), *n, *t, *out)
+	for _, p := range ps.Profiles {
+		fmt.Printf("  %-3s %-12s %5d n-grams\n", p.Language, bloomlang.LanguageName(p.Language), p.Size())
+	}
+}
+
+func classify(args []string) {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	profilePath := fs.String("profiles", "profiles.bin", "trained profile file")
+	k := fs.Int("k", 4, "hash functions per Bloom filter")
+	m := fs.Uint("m", 16*1024, "bits per Bloom filter vector (power of two)")
+	backend := fs.String("backend", "bloom", "membership backend: bloom, direct or classic")
+	verbose := fs.Bool("v", false, "print per-language match counts")
+	fs.Parse(args)
+
+	ps, err := loadProfiles(*profilePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps.Config.K = *k
+	ps.Config.MBits = uint32(*m)
+
+	var be bloomlang.Backend
+	switch *backend {
+	case "bloom":
+		be = bloomlang.BackendBloom
+	case "direct":
+		be = bloomlang.BackendDirect
+	case "classic":
+		be = bloomlang.BackendClassic
+	default:
+		log.Fatalf("unknown backend %q", *backend)
+	}
+	clf, err := bloomlang.NewClassifier(ps, be)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	classifyOne := func(name string, text []byte) {
+		r := clf.Classify(text)
+		lang := r.BestLanguage(clf.Languages())
+		if lang == "" {
+			fmt.Printf("%s: (no n-grams)\n", name)
+			return
+		}
+		fmt.Printf("%s: %s (%s), margin %d of %d n-grams\n",
+			name, lang, bloomlang.LanguageName(lang), r.Margin(), r.NGrams)
+		if *verbose {
+			for i, l := range clf.Languages() {
+				fmt.Printf("  %-3s %6d\n", l, r.Counts[i])
+			}
+		}
+	}
+
+	if fs.NArg() == 0 {
+		text, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		classifyOne("stdin", text)
+		return
+	}
+	for _, path := range fs.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		classifyOne(path, text)
+	}
+}
+
+func loadProfiles(path string) (*bloomlang.ProfileSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	cfg := bloomlang.DefaultConfig()
+	ps := &bloomlang.ProfileSet{Config: cfg}
+	for {
+		p, err := ngram.ReadProfile(br)
+		if err != nil {
+			// A clean end of file shows up as a wrapped io.EOF from the
+			// magic read; anything else is a real error.
+			if errors.Is(err, io.EOF) && len(ps.Profiles) > 0 {
+				break
+			}
+			return nil, err
+		}
+		ps.Config.N = p.N
+		ps.Profiles = append(ps.Profiles, p)
+	}
+	return ps, nil
+}

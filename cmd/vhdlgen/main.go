@@ -1,0 +1,85 @@
+// Command vhdlgen exports a trained classifier configuration as
+// synthesizable VHDL — the form the paper's implementation took (§4).
+// Profiles come from cmd/langid train; the H3 matrices are fixed by the
+// seed, so software classification, the cycle simulator, and the
+// generated hardware all implement the same function.
+//
+// Usage:
+//
+//	vhdlgen -profiles profiles.bin [-k 4] [-m 16384] [-seed 1] [-out classifier.vhd]
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"bloomlang"
+	"bloomlang/internal/core"
+	"bloomlang/internal/ngram"
+	"bloomlang/internal/vhdl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vhdlgen: ")
+	profilePath := flag.String("profiles", "profiles.bin", "trained profile file (langid train)")
+	k := flag.Int("k", 4, "hash functions per Bloom filter")
+	m := flag.Uint("m", 16*1024, "bits per bit-vector (power of two)")
+	seed := flag.Int64("seed", 1, "H3 matrix seed (must match the software deployment)")
+	out := flag.String("out", "classifier.vhd", "output VHDL file ('-' for stdout)")
+	flag.Parse()
+
+	f, err := os.Open(*profilePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	cfg := bloomlang.DefaultConfig()
+	cfg.K = *k
+	cfg.MBits = uint32(*m)
+	cfg.Seed = *seed
+	ps := &core.ProfileSet{Config: cfg}
+	for {
+		p, err := ngram.ReadProfile(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) && len(ps.Profiles) > 0 {
+				break
+			}
+			log.Fatal(err)
+		}
+		ps.Config.N = p.N
+		ps.Profiles = append(ps.Profiles, p)
+	}
+
+	clf, err := core.New(ps, core.BackendBloom)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		of, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer of.Close()
+		w = of
+	}
+	bw := bufio.NewWriter(w)
+	if err := vhdl.Generate(bw, clf); err != nil {
+		log.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %s: %d languages, k=%d, m=%d bits, n=%d\n",
+			*out, len(clf.Languages()), cfg.K, cfg.MBits, ps.Config.N)
+	}
+}

@@ -1,0 +1,35 @@
+// Package bloomlang is a pure-Go reproduction of "Language
+// Classification using N-grams Accelerated by FPGA-based Bloom Filters"
+// (Jacob & Gokhale, HPRCTA'07): n-gram language classification with
+// Parallel Bloom Filter membership testing, together with a
+// cycle-accounted simulation of the XtremeData XD1000 hardware platform
+// the paper deployed on and the two baselines it compares against
+// (the HAIL FPGA design and Mguesser-style Cavnar-Trenkle software).
+//
+// # Quick start
+//
+//	corp, _ := bloomlang.GenerateCorpus(bloomlang.CorpusConfig{
+//		DocsPerLanguage: 100, WordsPerDoc: 400, TrainFraction: 0.1, Seed: 1,
+//	})
+//	profiles, _ := bloomlang.Train(bloomlang.DefaultConfig(), corp)
+//	clf, _ := bloomlang.NewClassifier(profiles, bloomlang.BackendBloom)
+//	r := clf.Classify([]byte("el reglamento del consejo sobre la política agrícola"))
+//	fmt.Println(r.BestLanguage(clf.Languages())) // "es"
+//
+// # Architecture
+//
+// The library is organized as the paper's system is:
+//
+//   - alphabet conversion (8-bit extended ASCII to 5-bit codes),
+//   - n-gram extraction and top-t profile training,
+//   - H3-hashed Parallel Bloom Filters (one per language),
+//   - a multi-language match-counting classifier with software
+//     (goroutine-parallel) and simulated-hardware execution paths,
+//   - the XD1000 system model: HyperTransport link, DMA, command
+//     protocol, watchdog, and synchronous/asynchronous host drivers,
+//   - baselines: HAIL (direct SRAM lookup) and Cavnar-Trenkle rank
+//     ordering.
+//
+// Every table and figure of the paper's evaluation can be regenerated;
+// see the Run* experiment functions and cmd/experiments.
+package bloomlang

@@ -1,0 +1,131 @@
+// Server: a language-detection microservice — the kind of service a
+// search-engine indexer or spam-filter front-end (§1) would call. The
+// classifier's read-only filters serve concurrent requests without
+// locking. The example starts the service on an ephemeral port, sends
+// itself a few requests, prints the responses, and exits.
+//
+// API:
+//
+//	POST /detect            body = document text
+//	  -> {"language":"es","name":"Spanish","ngrams":57,"margin":21,"counts":{...}}
+//	GET  /healthz           -> 200 ok
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"bloomlang"
+)
+
+type detectResponse struct {
+	Language string         `json:"language"`
+	Name     string         `json:"name"`
+	NGrams   int            `json:"ngrams"`
+	Margin   int            `json:"margin"`
+	Counts   map[string]int `json:"counts"`
+}
+
+func newHandler(clf *bloomlang.Classifier) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/detect", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a document body", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 10<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res := clf.Classify(body)
+		lang := res.BestLanguage(clf.Languages())
+		if lang == "" {
+			http.Error(w, "document too short to classify", http.StatusUnprocessableEntity)
+			return
+		}
+		counts := make(map[string]int, len(res.Counts))
+		for i, l := range clf.Languages() {
+			counts[l] = res.Counts[i]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(detectResponse{
+			Language: lang,
+			Name:     bloomlang.LanguageName(lang),
+			NGrams:   res.NGrams,
+			Margin:   res.Margin(),
+			Counts:   counts,
+		})
+	})
+	return mux
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// Train once at startup.
+	corp, err := bloomlang.GenerateCorpus(bloomlang.CorpusConfig{
+		DocsPerLanguage: 80,
+		WordsPerDoc:     300,
+		TrainFraction:   0.2,
+		Seed:            8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiles, err := bloomlang.Train(bloomlang.DefaultConfig(), corp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := bloomlang.NewClassifier(profiles, bloomlang.BackendBloom)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: newHandler(clf)}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("language detection service on %s\n\n", base)
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	queries := []string{
+		"el consejo y la comision adoptan todas las medidas necesarias para la aplicacion del presente reglamento cuando los estados miembros lo soliciten",
+		"kommissionen skall anta de bestammelser som ar nodvandiga for tillampningen",
+		"komissio antaa asetuksen soveltamista koskevat tarpeelliset saannokset",
+		"the council shall adopt the measures necessary for this regulation",
+	}
+	for _, q := range queries {
+		resp, err := client.Post(base+"/detect", "text/plain", bytes.NewBufferString(q))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var det detectResponse
+		if err := json.NewDecoder(resp.Body).Decode(&det); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("%-70.70s -> %s (%s), margin %d\n", q, det.Language, det.Name, det.Margin)
+	}
+
+	// Health check, then shut down.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("\nhealth: %s\n", resp.Status)
+	srv.Close()
+}

@@ -1,0 +1,139 @@
+// Package alphabet implements the character translation stage of the
+// n-gram language classifier described in Jacob & Gokhale, "Language
+// Classification using N-grams Accelerated by FPGA-based Bloom Filters"
+// (HPRCTA'07), §3.3.
+//
+// The hardware's alphabet conversion module translates 8-bit extended
+// ASCII (ISO-8859-1) characters into a 5-bit code: lower-case characters
+// are converted to upper case, accented characters are mapped to their
+// non-accented versions, and all other characters are mapped to a default
+// white-space code. The module is implemented in hardware with comparator
+// and muxing logic; here it is a 256-entry lookup table, which is the
+// alternative implementation the paper mentions (tables stored in
+// embedded RAMs).
+package alphabet
+
+// Code is a 5-bit alphabet code produced by the conversion module.
+// Space is 0 and the letters A-Z are 1-26; values 27-31 are unused,
+// matching the paper's 27-symbol working alphabet.
+type Code uint8
+
+const (
+	// Space is the default white-space code assigned to every byte that
+	// is not a (possibly accented) letter.
+	Space Code = 0
+
+	// NumCodes is the number of distinct codes the translator can emit
+	// (space plus 26 letters).
+	NumCodes = 27
+
+	// Bits is the width of a translated character in the hardware
+	// datapath.
+	Bits = 5
+)
+
+// table maps every ISO-8859-1 byte to its 5-bit code. Built once at
+// package initialization; the hardware equivalent is a 256x5 ROM.
+var table [256]Code
+
+func init() {
+	for i := 0; i < 256; i++ {
+		table[i] = classify(byte(i))
+	}
+}
+
+// classify computes the code for one byte. It is used only to build the
+// lookup table; Translate and friends use the table.
+func classify(b byte) Code {
+	switch {
+	case b >= 'A' && b <= 'Z':
+		return Code(b-'A') + 1
+	case b >= 'a' && b <= 'z':
+		return Code(b-'a') + 1
+	}
+	// ISO-8859-1 accented letters fold to their unaccented base letter.
+	// 0xD7 (multiplication sign) and 0xF7 (division sign) are symbols,
+	// not letters, and fall through to white space.
+	if l, ok := latin1Base[b]; ok {
+		return Code(l-'A') + 1
+	}
+	return Space
+}
+
+// latin1Base maps ISO-8859-1 accented code points to their base letter.
+// Both the upper-case (0xC0-0xDE) and lower-case (0xE0-0xFE) halves are
+// listed explicitly so the mapping is auditable against the standard.
+var latin1Base = map[byte]byte{
+	// Upper-case block.
+	0xC0: 'A', 0xC1: 'A', 0xC2: 'A', 0xC3: 'A', 0xC4: 'A', 0xC5: 'A',
+	0xC6: 'A', // Æ folds to A (first letter of the ligature)
+	0xC7: 'C',
+	0xC8: 'E', 0xC9: 'E', 0xCA: 'E', 0xCB: 'E',
+	0xCC: 'I', 0xCD: 'I', 0xCE: 'I', 0xCF: 'I',
+	0xD0: 'D', // Ð (Eth)
+	0xD1: 'N',
+	0xD2: 'O', 0xD3: 'O', 0xD4: 'O', 0xD5: 'O', 0xD6: 'O',
+	0xD8: 'O', // Ø
+	0xD9: 'U', 0xDA: 'U', 0xDB: 'U', 0xDC: 'U',
+	0xDD: 'Y',
+	0xDE: 'T', // Þ (Thorn)
+	0xDF: 'S', // ß folds to S
+	// Lower-case block.
+	0xE0: 'A', 0xE1: 'A', 0xE2: 'A', 0xE3: 'A', 0xE4: 'A', 0xE5: 'A',
+	0xE6: 'A',
+	0xE7: 'C',
+	0xE8: 'E', 0xE9: 'E', 0xEA: 'E', 0xEB: 'E',
+	0xEC: 'I', 0xED: 'I', 0xEE: 'I', 0xEF: 'I',
+	0xF0: 'D',
+	0xF1: 'N',
+	0xF2: 'O', 0xF3: 'O', 0xF4: 'O', 0xF5: 'O', 0xF6: 'O',
+	0xF8: 'O',
+	0xF9: 'U', 0xFA: 'U', 0xFB: 'U', 0xFC: 'U',
+	0xFD: 'Y',
+	0xFE: 'T',
+	0xFF: 'Y',
+}
+
+// Translate converts a single ISO-8859-1 byte to its 5-bit code.
+func Translate(b byte) Code {
+	return table[b]
+}
+
+// TranslateInto translates src into dst, which must be at least
+// len(src) long, and returns the number of codes written (always
+// len(src): the translation is one code per input byte, exactly as in
+// the hardware where the stream width is preserved). It panics if dst is
+// too short, mirroring the built-in copy contract for fixed-size
+// pipeline stages.
+func TranslateInto(dst []Code, src []byte) int {
+	if len(dst) < len(src) {
+		panic("alphabet: destination shorter than source")
+	}
+	for i, b := range src {
+		dst[i] = table[b]
+	}
+	return len(src)
+}
+
+// TranslateAll translates src into a freshly allocated code slice.
+func TranslateAll(src []byte) []Code {
+	dst := make([]Code, len(src))
+	TranslateInto(dst, src)
+	return dst
+}
+
+// Letter reports whether c encodes a letter (as opposed to white space).
+func (c Code) Letter() bool { return c >= 1 && c <= 26 }
+
+// Byte returns the canonical ASCII representation of the code: 'A'-'Z'
+// for letters and ' ' for the white-space code. Unused code values also
+// render as spaces so that corrupted streams stay printable.
+func (c Code) Byte() byte {
+	if c.Letter() {
+		return 'A' + byte(c) - 1
+	}
+	return ' '
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (c Code) String() string { return string(c.Byte()) }

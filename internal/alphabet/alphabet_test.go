@@ -1,0 +1,160 @@
+package alphabet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLetterCodes(t *testing.T) {
+	for b := byte('A'); b <= 'Z'; b++ {
+		want := Code(b-'A') + 1
+		if got := Translate(b); got != want {
+			t.Errorf("Translate(%q) = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestCaseFolding(t *testing.T) {
+	for b := byte('a'); b <= 'z'; b++ {
+		if got, want := Translate(b), Translate(b-'a'+'A'); got != want {
+			t.Errorf("Translate(%q) = %d, want %d (upper-case value)", b, got, want)
+		}
+	}
+}
+
+func TestAccentStripping(t *testing.T) {
+	cases := []struct {
+		in   byte
+		want byte
+	}{
+		{0xC9, 'E'}, // É
+		{0xE9, 'E'}, // é
+		{0xE8, 'E'}, // è
+		{0xE7, 'C'}, // ç
+		{0xF1, 'N'}, // ñ
+		{0xE3, 'A'}, // ã
+		{0xF5, 'O'}, // õ
+		{0xE4, 'A'}, // ä
+		{0xF6, 'O'}, // ö
+		{0xE5, 'A'}, // å
+		{0xF8, 'O'}, // ø
+		{0xFC, 'U'}, // ü
+		{0xDF, 'S'}, // ß
+		{0xC6, 'A'}, // Æ
+	}
+	for _, c := range cases {
+		if got, want := Translate(c.in), Translate(c.want); got != want {
+			t.Errorf("Translate(0x%02X) = %d, want %d (code of %q)", c.in, got, want, c.want)
+		}
+	}
+}
+
+func TestNonLettersMapToSpace(t *testing.T) {
+	for _, b := range []byte{' ', '\t', '\n', '0', '9', '.', ',', ';', '!', '?', '-', '_', '(', ')', 0x00, 0x7F, 0xA9, 0xD7, 0xF7} {
+		if got := Translate(b); got != Space {
+			t.Errorf("Translate(0x%02X) = %d, want Space", b, got)
+		}
+	}
+}
+
+func TestAllBytesProduceValidCodes(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		c := Translate(byte(i))
+		if c >= NumCodes {
+			t.Errorf("Translate(0x%02X) = %d, out of range [0,%d)", i, c, NumCodes)
+		}
+	}
+}
+
+func TestTranslateIntoMatchesTranslate(t *testing.T) {
+	f := func(src []byte) bool {
+		dst := make([]Code, len(src))
+		n := TranslateInto(dst, src)
+		if n != len(src) {
+			return false
+		}
+		for i, b := range src {
+			if dst[i] != Translate(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslateAll(t *testing.T) {
+	// \xF6 is ö in ISO-8859-1 (the hardware's input encoding; Go source
+	// literals are UTF-8, so spell the byte out).
+	got := TranslateAll([]byte("Hello, W\xF6rld!"))
+	want := "HELLO  WORLD "
+	if len(got) != len(want) {
+		t.Fatalf("TranslateAll length = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Byte() != want[i] {
+			t.Errorf("code %d renders %q, want %q", i, got[i].Byte(), want[i])
+		}
+	}
+}
+
+func TestTranslateIntoPanicsOnShortDst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TranslateInto did not panic on short destination")
+		}
+	}()
+	TranslateInto(make([]Code, 1), []byte("ab"))
+}
+
+// Translation must be idempotent when round-tripped through the canonical
+// byte representation: translating the rendering of a code yields the
+// same code.
+func TestRoundTripIdempotent(t *testing.T) {
+	f := func(b byte) bool {
+		c := Translate(b)
+		return Translate(c.Byte()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodeString(t *testing.T) {
+	if Code(1).String() != "A" {
+		t.Errorf("Code(1).String() = %q, want A", Code(1).String())
+	}
+	if Space.String() != " " {
+		t.Errorf("Space.String() = %q, want space", Space.String())
+	}
+	if Code(31).String() != " " {
+		t.Errorf("unused code should render as space, got %q", Code(31).String())
+	}
+}
+
+func TestLetterPredicate(t *testing.T) {
+	if Space.Letter() {
+		t.Error("Space.Letter() = true")
+	}
+	if !Code(1).Letter() || !Code(26).Letter() {
+		t.Error("letter codes not recognized")
+	}
+	if Code(27).Letter() {
+		t.Error("Code(27).Letter() = true, want false")
+	}
+}
+
+func BenchmarkTranslateInto(b *testing.B) {
+	src := make([]byte, 64*1024)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dst := make([]Code, len(src))
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TranslateInto(dst, src)
+	}
+}

@@ -1,0 +1,52 @@
+package alphabet
+
+import "unicode"
+
+// This file implements the §3.3 extension: "While our current
+// implementation is limited to common European languages representable
+// with extended ASCII, it can be extended to other encodings such as
+// 16-bit Unicode that have a larger alphabet."
+//
+// The wide converter maps Unicode text to a stream of 16-bit codes:
+// letters are case-folded to upper case (the wide analogue of the 5-bit
+// converter's folding), everything else becomes the white-space code,
+// and code points outside the Basic Multilingual Plane fold to a single
+// out-of-alphabet code. The n-gram machinery then operates on packed
+// 16-bit characters, and only the hash input width changes — exactly
+// the property the paper highlights over direct-lookup tables, which
+// would grow exponentially with the alphabet.
+
+// WideCode is a 16-bit alphabet code.
+type WideCode uint16
+
+// WideBits is the width of one wide character in the datapath.
+const WideBits = 16
+
+// WideSpace is the wide white-space code.
+const WideSpace WideCode = 0
+
+// wideSupplementary is the single bucket for letters outside the BMP.
+const wideSupplementary WideCode = 0xFFFF
+
+// TranslateWideRune converts one rune to its 16-bit code.
+func TranslateWideRune(r rune) WideCode {
+	if !unicode.IsLetter(r) {
+		return WideSpace
+	}
+	r = unicode.ToUpper(r)
+	if r > 0xFFFE {
+		return wideSupplementary
+	}
+	return WideCode(r)
+}
+
+// TranslateWide converts a UTF-8 string to its wide code stream. One
+// code is produced per rune (not per byte): the hardware analogue is a
+// UTF-16 datapath fed by a decoder front-end.
+func TranslateWide(s string) []WideCode {
+	out := make([]WideCode, 0, len(s))
+	for _, r := range s {
+		out = append(out, TranslateWideRune(r))
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package alphabet
+
+import "testing"
+
+func TestTranslateWideRune(t *testing.T) {
+	cases := []struct {
+		in   rune
+		want WideCode
+	}{
+		{'a', 'A'},
+		{'Z', 'Z'},
+		{'α', 0x0391}, // α -> Α
+		{'Ω', 0x03A9}, // Ω stays
+		{'д', 0x0414}, // д -> Д
+		{'ї', 0x0407}, // ї -> Ї (Ukrainian)
+		{'é', 0x00C9}, // é -> É (wide path preserves accents)
+		{' ', WideSpace},
+		{'5', WideSpace},
+		{',', WideSpace},
+		{'\n', WideSpace},
+		{'€', WideSpace}, // currency symbol is not a letter
+	}
+	for _, c := range cases {
+		if got := TranslateWideRune(c.in); got != c.want {
+			t.Errorf("TranslateWideRune(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTranslateWideSupplementary(t *testing.T) {
+	// Letters outside the BMP fold to the single supplementary bucket.
+	got := TranslateWideRune('𐐷') // Deseret long ee, U+10437
+	if got != wideSupplementary {
+		t.Errorf("supplementary letter = %#x, want %#x", got, wideSupplementary)
+	}
+}
+
+func TestTranslateWideString(t *testing.T) {
+	codes := TranslateWide("aα1")
+	if len(codes) != 3 {
+		t.Fatalf("got %d codes, want 3 (one per rune)", len(codes))
+	}
+	if codes[0] != 'A' || codes[1] != 0x0391 || codes[2] != WideSpace {
+		t.Errorf("codes = %#x", codes)
+	}
+}
+
+func TestTranslateWideEmpty(t *testing.T) {
+	if got := TranslateWide(""); len(got) != 0 {
+		t.Errorf("empty string produced %d codes", len(got))
+	}
+}

@@ -1,0 +1,90 @@
+package bloom
+
+import (
+	"fmt"
+
+	"bloomlang/internal/h3"
+)
+
+// Parallel64 is the Parallel Bloom Filter over wide (up to 64-bit)
+// elements, backing the §3.3 Unicode extension. Identical structure to
+// Parallel — k independent 1×m vectors, one per hash — with only the
+// hash input width changed.
+type Parallel64 struct {
+	family  *h3.Family64
+	vectors []*BitVector
+	m       uint32
+	n       int
+}
+
+// NewParallel64 builds a wide filter with k hash functions over
+// inputBits-wide elements (m a power of two).
+func NewParallel64(k int, inputBits uint, m uint32, seed int64) (*Parallel64, error) {
+	if m == 0 || m&(m-1) != 0 {
+		return nil, fmt.Errorf("bloom: vector length %d is not a power of two", m)
+	}
+	outputBits := uint(0)
+	for 1<<outputBits < m {
+		outputBits++
+	}
+	family, err := h3.NewFamily64(k, inputBits, outputBits, seed)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parallel64{
+		family:  family,
+		vectors: make([]*BitVector, k),
+		m:       m,
+	}
+	for i := range p.vectors {
+		p.vectors[i] = NewBitVector(m)
+	}
+	return p, nil
+}
+
+// K returns the number of hash functions.
+func (p *Parallel64) K() int { return p.family.K() }
+
+// M returns the per-vector length in bits.
+func (p *Parallel64) M() uint32 { return p.m }
+
+// N returns the number of programmed elements.
+func (p *Parallel64) N() int { return p.n }
+
+// Program inserts g.
+func (p *Parallel64) Program(g uint64) {
+	for i, v := range p.vectors {
+		v.Set(p.family.Func(i).Hash(g))
+	}
+	p.n++
+}
+
+// ProgramAll inserts every element of gs.
+func (p *Parallel64) ProgramAll(gs []uint64) {
+	for _, g := range gs {
+		p.Program(g)
+	}
+}
+
+// Test reports possible membership of g (no false negatives).
+func (p *Parallel64) Test(g uint64) bool {
+	for i, v := range p.vectors {
+		if !v.Get(p.family.Func(i).Hash(g)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter.
+func (p *Parallel64) Reset() {
+	for _, v := range p.vectors {
+		v.Reset()
+	}
+	p.n = 0
+}
+
+// FalsePositiveRate returns the §3.1 model value at current load.
+func (p *Parallel64) FalsePositiveRate() float64 {
+	return FalsePositiveRate(p.n, p.m, p.K())
+}

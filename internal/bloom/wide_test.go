@@ -1,0 +1,103 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParallel64Validation(t *testing.T) {
+	if _, err := NewParallel64(4, 48, 1000, 1); err == nil {
+		t.Error("non-power-of-two m accepted")
+	}
+	if _, err := NewParallel64(0, 48, 1024, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	p, err := NewParallel64(4, 64, 16384, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 4 || p.M() != 16384 {
+		t.Errorf("K=%d M=%d", p.K(), p.M())
+	}
+}
+
+func TestParallel64NoFalseNegatives(t *testing.T) {
+	p, err := NewParallel64(4, 64, 16384, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	members := make([]uint64, 5000)
+	for i := range members {
+		members[i] = rng.Uint64()
+		p.Program(members[i])
+	}
+	for _, g := range members {
+		if !p.Test(g) {
+			t.Fatalf("false negative for %#x", g)
+		}
+	}
+	if p.N() != 5000 {
+		t.Errorf("N = %d", p.N())
+	}
+}
+
+func TestParallel64EmptyRejects(t *testing.T) {
+	p, _ := NewParallel64(4, 64, 16384, 1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		if p.Test(rng.Uint64()) {
+			t.Fatal("empty wide filter matched")
+		}
+	}
+}
+
+func TestParallel64FalsePositiveRate(t *testing.T) {
+	const (
+		k = 4
+		m = 16 * 1024
+		n = 5000
+	)
+	p, _ := NewParallel64(k, 64, m, 99)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		p.Program(rng.Uint64())
+	}
+	// Probe fresh random values; collisions with members are
+	// negligible in a 64-bit space.
+	fp, trials := 0, 200000
+	for i := 0; i < trials; i++ {
+		if p.Test(rng.Uint64()) {
+			fp++
+		}
+	}
+	got := float64(fp) / float64(trials)
+	want := FalsePositiveRate(n, m, k)
+	if got < want/2 || got > want*2 {
+		t.Errorf("empirical fp %.5f not within 2x of model %.5f", got, want)
+	}
+	if p.FalsePositiveRate() != want {
+		t.Error("FalsePositiveRate accessor disagrees with model")
+	}
+}
+
+func TestParallel64Reset(t *testing.T) {
+	p, _ := NewParallel64(3, 48, 4096, 5)
+	p.ProgramAll([]uint64{1, 2, 3})
+	p.Reset()
+	if p.N() != 0 || p.Test(1) || p.Test(2) || p.Test(3) {
+		t.Error("Reset did not clear the wide filter")
+	}
+}
+
+func BenchmarkParallel64Test(b *testing.B) {
+	p, _ := NewParallel64(4, 64, 16*1024, 1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		p.Program(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Test(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+}

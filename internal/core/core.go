@@ -1,0 +1,382 @@
+// Package core implements the paper's primary contribution in software:
+// multi-language classification by n-gram match counting against
+// per-language membership structures (§2, HAIL steps 1–3, with the
+// paper's Parallel Bloom Filters as the membership structure).
+//
+// The flow is exactly the paper's:
+//
+//  1. Preprocessing generates an n-gram profile per language from a
+//     representative sample of documents (Train).
+//  2. A document's n-grams are tested for membership in every language
+//     profile; each match increments that language's counter.
+//  3. The language with the highest match count is the classification.
+//
+// Three interchangeable membership backends are provided: the Parallel
+// Bloom Filter (the paper's design), a direct lookup table (HAIL's
+// design, exact membership), and a classic single-vector Bloom filter
+// (an ablation). The simulated FPGA datapath in internal/xd1000 uses
+// the same Parallel Bloom Filter code, so hardware-simulated and
+// software classifications agree bit-for-bit.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bloomlang/internal/alphabet"
+	"bloomlang/internal/bloom"
+	"bloomlang/internal/corpus"
+	"bloomlang/internal/ngram"
+)
+
+// Config carries the classifier parameters studied in §5.2.
+type Config struct {
+	// N is the n-gram length; the paper uses 4 (§4).
+	N int
+	// TopT is the profile size t; the paper uses 5,000 (§4).
+	TopT int
+	// K is the number of H3 hash functions per Bloom filter.
+	K int
+	// MBits is the length m of each of the K bit-vectors, in bits.
+	// Table 1 explores 16Kbit, 8Kbit and 4Kbit.
+	MBits uint32
+	// Seed drives H3 matrix generation; equal seeds give identical
+	// classifiers.
+	Seed int64
+	// Subsample tests only every s-th document n-gram when s > 1
+	// (HAIL-style input subsampling, §3.3).
+	Subsample int
+}
+
+// DefaultConfig returns the paper's most conservative configuration:
+// 4-grams, t=5000, k=4 hash functions, m=16 Kbit vectors.
+func DefaultConfig() Config {
+	return Config{
+		N:         ngram.DefaultN,
+		TopT:      ngram.DefaultProfileSize,
+		K:         4,
+		MBits:     16 * 1024,
+		Seed:      1,
+		Subsample: 1,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	if c.N == 0 {
+		c.N = ngram.DefaultN
+	}
+	if c.TopT == 0 {
+		c.TopT = ngram.DefaultProfileSize
+	}
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.MBits == 0 {
+		c.MBits = 16 * 1024
+	}
+	if c.Subsample == 0 {
+		c.Subsample = 1
+	}
+}
+
+// Validate reports configuration errors early.
+func (c Config) Validate() error {
+	cfg := c
+	cfg.applyDefaults()
+	if cfg.N < 1 || cfg.N > ngram.MaxN {
+		return fmt.Errorf("core: n=%d out of range [1,%d]", cfg.N, ngram.MaxN)
+	}
+	if cfg.TopT < 1 {
+		return fmt.Errorf("core: profile size %d must be positive", cfg.TopT)
+	}
+	if cfg.K < 1 {
+		return fmt.Errorf("core: k=%d must be positive", cfg.K)
+	}
+	if cfg.MBits == 0 || cfg.MBits&(cfg.MBits-1) != 0 {
+		return fmt.Errorf("core: m=%d bits is not a power of two", cfg.MBits)
+	}
+	if cfg.Subsample < 1 {
+		return fmt.Errorf("core: subsample %d must be >= 1", cfg.Subsample)
+	}
+	return nil
+}
+
+// ExpectedFalsePositiveRate returns the §3.1 model value for this
+// configuration at profile load N=TopT.
+func (c Config) ExpectedFalsePositiveRate() float64 {
+	cfg := c
+	cfg.applyDefaults()
+	return bloom.FalsePositiveRate(cfg.TopT, cfg.MBits, cfg.K)
+}
+
+// ProfileSet is a trained set of language profiles plus the
+// configuration they were trained under.
+type ProfileSet struct {
+	Config   Config
+	Profiles []*ngram.Profile // sorted by language code
+}
+
+// Train builds per-language profiles from the corpus training split.
+func Train(cfg Config, corp *corpus.Corpus) (*ProfileSet, error) {
+	texts := make(map[string][][]byte, len(corp.Languages))
+	for _, lang := range corp.Languages {
+		texts[lang] = corp.TrainTexts(lang)
+	}
+	return TrainFromTexts(cfg, texts)
+}
+
+// TrainFromTexts builds per-language profiles from raw training texts
+// keyed by language code.
+func TrainFromTexts(cfg Config, texts map[string][][]byte) (*ProfileSet, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(texts) == 0 {
+		return nil, fmt.Errorf("core: no training languages")
+	}
+	langs := make([]string, 0, len(texts))
+	for lang := range texts {
+		langs = append(langs, lang)
+	}
+	sort.Strings(langs)
+	ps := &ProfileSet{Config: cfg}
+	for _, lang := range langs {
+		if len(texts[lang]) == 0 {
+			return nil, fmt.Errorf("core: language %q has no training documents", lang)
+		}
+		p, err := ngram.ProfileFromTexts(lang, texts[lang], cfg.N, cfg.TopT)
+		if err != nil {
+			return nil, err
+		}
+		ps.Profiles = append(ps.Profiles, p)
+	}
+	return ps, nil
+}
+
+// Languages returns the trained language codes in classifier order.
+func (ps *ProfileSet) Languages() []string {
+	langs := make([]string, len(ps.Profiles))
+	for i, p := range ps.Profiles {
+		langs[i] = p.Language
+	}
+	return langs
+}
+
+// matcher is the per-language membership backend.
+type matcher interface {
+	Test(g uint32) bool
+}
+
+// Backend selects the membership structure a Classifier uses.
+type Backend int
+
+const (
+	// BackendBloom uses the paper's Parallel Bloom Filter.
+	BackendBloom Backend = iota
+	// BackendDirect uses an exact lookup table (HAIL's approach).
+	BackendDirect
+	// BackendClassic uses a classic single-vector Bloom filter with the
+	// same total bit budget (k·m bits) as the parallel variant.
+	BackendClassic
+)
+
+// String names the backend for reports.
+func (b Backend) String() string {
+	switch b {
+	case BackendBloom:
+		return "parallel-bloom"
+	case BackendDirect:
+		return "direct-lookup"
+	case BackendClassic:
+		return "classic-bloom"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// directTable is an exact membership bitset over the packed n-gram
+// space, the software equivalent of HAIL's off-chip SRAM table.
+type directTable struct {
+	bits []uint64
+}
+
+func newDirectTable(nBits uint) *directTable {
+	return &directTable{bits: make([]uint64, (uint64(1)<<nBits+63)/64)}
+}
+
+func (d *directTable) add(g uint32)       { d.bits[g>>6] |= 1 << (g & 63) }
+func (d *directTable) Test(g uint32) bool { return d.bits[g>>6]&(1<<(g&63)) != 0 }
+
+// Classifier tests document n-grams against every language profile in
+// turn and reports match counts — the software realization of the
+// multiple language classifier of §3.2.
+type Classifier struct {
+	cfg      Config
+	backend  Backend
+	langs    []string
+	matchers []matcher
+	filters  []*bloom.Parallel // non-nil iff backend == BackendBloom
+}
+
+// New builds a classifier over the profile set with the chosen backend.
+func New(ps *ProfileSet, backend Backend) (*Classifier, error) {
+	cfg := ps.Config
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ps.Profiles) == 0 {
+		return nil, fmt.Errorf("core: empty profile set")
+	}
+	c := &Classifier{cfg: cfg, backend: backend}
+	inputBits := ngram.Bits(cfg.N)
+	for i, p := range ps.Profiles {
+		if p.N != cfg.N {
+			return nil, fmt.Errorf("core: profile %q has n=%d, config has n=%d", p.Language, p.N, cfg.N)
+		}
+		c.langs = append(c.langs, p.Language)
+		switch backend {
+		case BackendBloom:
+			// Each language gets its own filter; seeds are offset per
+			// language so filters are independent, as in hardware where
+			// each replica has its own H3 matrices.
+			f, err := bloom.NewParallel(cfg.K, inputBits, cfg.MBits, cfg.Seed+int64(i)*1000003)
+			if err != nil {
+				return nil, err
+			}
+			f.ProgramAll(p.Grams)
+			c.matchers = append(c.matchers, f)
+			c.filters = append(c.filters, f)
+		case BackendDirect:
+			t := newDirectTable(inputBits)
+			for _, g := range p.Grams {
+				t.add(g)
+			}
+			c.matchers = append(c.matchers, t)
+		case BackendClassic:
+			f, err := bloom.NewClassic(cfg.K, inputBits, cfg.MBits*uint32(cfg.K), cfg.Seed+int64(i)*1000003)
+			if err != nil {
+				return nil, err
+			}
+			f.ProgramAll(p.Grams)
+			c.matchers = append(c.matchers, f)
+		default:
+			return nil, fmt.Errorf("core: unknown backend %d", backend)
+		}
+	}
+	return c, nil
+}
+
+// Languages returns the classifier's language order; Result.Counts uses
+// the same order.
+func (c *Classifier) Languages() []string { return c.langs }
+
+// Config returns the classifier's effective configuration.
+func (c *Classifier) Config() Config { return c.cfg }
+
+// Backend returns the membership backend in use.
+func (c *Classifier) Backend() Backend { return c.backend }
+
+// Filter returns the Parallel Bloom Filter for language index i, or nil
+// for non-Bloom backends. The XD1000 simulator borrows these so the
+// simulated datapath and the software classifier share state.
+func (c *Classifier) Filter(i int) *bloom.Parallel {
+	if c.filters == nil {
+		return nil
+	}
+	return c.filters[i]
+}
+
+// Result is the outcome of classifying one document.
+type Result struct {
+	// Counts holds per-language match counts in Languages() order.
+	Counts []int
+	// NGrams is the number of n-grams tested.
+	NGrams int
+	// Best is the index of the winning language (highest count, ties
+	// broken towards the lower index, i.e. lexicographically earlier
+	// language). -1 when no n-grams were tested.
+	Best int
+	// Second is the index of the runner-up, or -1.
+	Second int
+}
+
+// BestLanguage returns the winning language code, or "" for an empty
+// document.
+func (r Result) BestLanguage(langs []string) string {
+	if r.Best < 0 || r.Best >= len(langs) {
+		return ""
+	}
+	return langs[r.Best]
+}
+
+// Margin returns the winner's lead over the runner-up in match counts.
+// §5.1 observes that this margin is normally much larger than the false
+// positive noise, which is why Bloom false positives barely affect
+// accuracy.
+func (r Result) Margin() int {
+	if r.Best < 0 || r.Second < 0 {
+		return 0
+	}
+	return r.Counts[r.Best] - r.Counts[r.Second]
+}
+
+// Classify runs the full pipeline on one raw ISO-8859-1 document:
+// alphabet translation, n-gram extraction, membership testing, match
+// counting, and winner selection.
+func (c *Classifier) Classify(doc []byte) Result {
+	gs := c.ExtractGrams(nil, doc)
+	return c.ClassifyGrams(gs)
+}
+
+// ExtractGrams translates and extracts the document's packed n-grams
+// into dst (which may be nil), honouring the configured subsampling.
+func (c *Classifier) ExtractGrams(dst []uint32, doc []byte) []uint32 {
+	e, err := ngram.NewExtractor(c.cfg.N)
+	if err != nil {
+		// Config was validated at construction; this is unreachable.
+		panic(err)
+	}
+	if c.cfg.Subsample > 1 {
+		if err := e.SetSubsample(c.cfg.Subsample); err != nil {
+			panic(err)
+		}
+	}
+	codes := alphabet.TranslateAll(doc)
+	return e.Feed(dst, codes)
+}
+
+// ClassifyGrams counts matches for pre-extracted n-grams. This is the
+// inner loop the hardware implements: every n-gram is tested against
+// every language's filter and counters are incremented on match.
+func (c *Classifier) ClassifyGrams(gs []uint32) Result {
+	r := Result{Counts: make([]int, len(c.matchers)), NGrams: len(gs), Best: -1, Second: -1}
+	for i, m := range c.matchers {
+		count := 0
+		for _, g := range gs {
+			if m.Test(g) {
+				count++
+			}
+		}
+		r.Counts[i] = count
+	}
+	r.selectWinners()
+	return r
+}
+
+func (r *Result) selectWinners() {
+	if r.NGrams == 0 {
+		return
+	}
+	best, second := -1, -1
+	for i, n := range r.Counts {
+		switch {
+		case best == -1 || n > r.Counts[best]:
+			second = best
+			best = i
+		case second == -1 || n > r.Counts[second]:
+			second = i
+		}
+	}
+	r.Best, r.Second = best, second
+}

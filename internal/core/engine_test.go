@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func miniEngine(t testing.TB, workers int) *Engine {
+	t.Helper()
+	ps := trainMini(t, Config{TopT: 1000})
+	c, err := New(ps, BackendBloom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(c, workers)
+}
+
+func TestEngineDefaults(t *testing.T) {
+	e := miniEngine(t, 0)
+	if e.Workers() <= 0 {
+		t.Errorf("Workers = %d, want positive default", e.Workers())
+	}
+	if e.Classifier() == nil {
+		t.Error("Classifier accessor nil")
+	}
+}
+
+func TestClassifyAllMatchesSequential(t *testing.T) {
+	e := miniEngine(t, 8)
+	corp := getMiniCorpus(t)
+	docs := corp.TestDocuments("")
+	par := e.ClassifyAll(docs)
+	c := e.Classifier()
+	for i, d := range docs {
+		seq := c.Classify(d.Text)
+		if par[i].Best != seq.Best || par[i].NGrams != seq.NGrams {
+			t.Fatalf("doc %d: parallel result differs from sequential", i)
+		}
+		for j := range seq.Counts {
+			if par[i].Counts[j] != seq.Counts[j] {
+				t.Fatalf("doc %d: count %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestClassifyAllEmpty(t *testing.T) {
+	e := miniEngine(t, 4)
+	if got := e.ClassifyAll(nil); len(got) != 0 {
+		t.Errorf("ClassifyAll(nil) returned %d results", len(got))
+	}
+}
+
+func TestClassifyAllMoreWorkersThanDocs(t *testing.T) {
+	e := miniEngine(t, 64)
+	corp := getMiniCorpus(t)
+	docs := corp.Test["en"][:2]
+	results := e.ClassifyAll(docs)
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.BestLanguage(e.Classifier().Languages()) != "en" {
+			t.Errorf("doc %d misclassified", i)
+		}
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	e := miniEngine(t, 0)
+	corp := getMiniCorpus(t)
+	docs := corp.TestDocuments("")
+	rep := e.Measure(docs)
+	if rep.Docs != len(docs) {
+		t.Errorf("Docs = %d, want %d", rep.Docs, len(docs))
+	}
+	if rep.Bytes <= 0 {
+		t.Error("Bytes not positive")
+	}
+	if rep.Elapsed <= 0 {
+		t.Error("Elapsed not positive")
+	}
+	if rep.MBPerSec() <= 0 {
+		t.Error("MBPerSec not positive")
+	}
+}
+
+func TestThroughputReportMath(t *testing.T) {
+	rep := ThroughputReport{Bytes: 10 << 20, Elapsed: 2 * time.Second}
+	if got := rep.MBPerSec(); got < 4.99 || got > 5.01 {
+		t.Errorf("MBPerSec = %v, want 5", got)
+	}
+	zero := ThroughputReport{Bytes: 100}
+	if zero.MBPerSec() != 0 {
+		t.Error("zero elapsed must give zero throughput")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	e := miniEngine(t, 0)
+	corp := getMiniCorpus(t)
+	ev := e.Evaluate(corp)
+	if ev.Docs == 0 {
+		t.Fatal("no documents evaluated")
+	}
+	if len(ev.PerLanguage) != len(corp.Languages) {
+		t.Fatalf("PerLanguage has %d entries, want %d", len(ev.PerLanguage), len(corp.Languages))
+	}
+	if ev.Average < 0.9 {
+		t.Errorf("average accuracy %.3f below 0.9 on easy corpus", ev.Average)
+	}
+	if ev.Min > ev.Average || ev.Average > ev.Max {
+		t.Errorf("Min %.3f / Average %.3f / Max %.3f not ordered", ev.Min, ev.Average, ev.Max)
+	}
+	// Confusion diagonal must dominate.
+	for truth, row := range ev.Confusion {
+		diag := row[truth]
+		for pred, n := range row {
+			if pred != truth && n > diag {
+				t.Errorf("%s: confusion row dominated by %s (%d > %d)", truth, pred, n, diag)
+			}
+		}
+	}
+}
+
+func TestTopConfusion(t *testing.T) {
+	ev := Evaluation{Confusion: map[string]map[string]int{
+		"es": {"es": 90, "pt": 8, "fr": 2},
+		"fi": {"fi": 100},
+	}}
+	truth, pred, count, ok := ev.TopConfusion()
+	if !ok || truth != "es" || pred != "pt" || count != 8 {
+		t.Errorf("TopConfusion = %s->%s x%d ok=%v, want es->pt x8", truth, pred, count, ok)
+	}
+	perfect := Evaluation{Confusion: map[string]map[string]int{"en": {"en": 5}}}
+	if _, _, _, ok := perfect.TopConfusion(); ok {
+		t.Error("perfect evaluation reported a confusion")
+	}
+}
+
+func TestEngineWorkerScalingConsistency(t *testing.T) {
+	// Same inputs, different worker counts: identical outputs.
+	corp := getMiniCorpus(t)
+	docs := corp.TestDocuments("")
+	r1 := miniEngine(t, 1).ClassifyAll(docs)
+	r8 := miniEngine(t, 8).ClassifyAll(docs)
+	for i := range r1 {
+		if r1[i].Best != r8[i].Best {
+			t.Fatalf("doc %d classified differently under different worker counts", i)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bloomlang/internal/alphabet"
+	"bloomlang/internal/ngram"
+)
+
+// DocumentStream classifies one document incrementally with bounded
+// memory: bytes arrive in arbitrary chunks (an io.Writer), n-grams are
+// matched as they complete, and the running counters are available at
+// any point. This is the software mirror of the hardware datapath,
+// which consumes the DMA stream burst by burst and never buffers whole
+// documents (§3.3: "an input word containing multiple translated
+// characters is buffered and an n-gram is generated at each character
+// position").
+type DocumentStream struct {
+	c      *Classifier
+	e      *ngram.Extractor
+	counts []int
+	ngrams int
+	codes  []alphabet.Code
+	grams  []uint32
+}
+
+// NewStream starts an empty document stream on the classifier.
+func (c *Classifier) NewStream() *DocumentStream {
+	e, err := ngram.NewExtractor(c.cfg.N)
+	if err != nil {
+		panic(err) // config validated at construction
+	}
+	if c.cfg.Subsample > 1 {
+		if err := e.SetSubsample(c.cfg.Subsample); err != nil {
+			panic(err)
+		}
+	}
+	return &DocumentStream{
+		c:      c,
+		e:      e,
+		counts: make([]int, len(c.matchers)),
+	}
+}
+
+// Write feeds the next chunk of the document. It never fails; the
+// error return satisfies io.Writer.
+func (s *DocumentStream) Write(p []byte) (int, error) {
+	if cap(s.codes) < len(p) {
+		s.codes = make([]alphabet.Code, len(p))
+	}
+	codes := s.codes[:len(p)]
+	alphabet.TranslateInto(codes, p)
+	s.grams = s.e.Feed(s.grams[:0], codes)
+	s.ngrams += len(s.grams)
+	for i, m := range s.c.matchers {
+		count := 0
+		for _, g := range s.grams {
+			if m.Test(g) {
+				count++
+			}
+		}
+		s.counts[i] += count
+	}
+	return len(p), nil
+}
+
+// Result returns the classification of everything written so far. The
+// stream remains usable; more chunks may follow.
+func (s *DocumentStream) Result() Result {
+	r := Result{
+		Counts: append([]int(nil), s.counts...),
+		NGrams: s.ngrams,
+		Best:   -1,
+		Second: -1,
+	}
+	r.selectWinners()
+	return r
+}
+
+// Reset prepares the stream for a new document — the End-of-Document
+// boundary.
+func (s *DocumentStream) Reset() {
+	s.e.Reset()
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.ngrams = 0
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestStreamMatchesBatch(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 1000})
+	c, err := New(ps, BackendBloom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := getMiniCorpus(t).Test["es"][0].Text
+	want := c.Classify(doc)
+
+	// Feed the same document in chunks of varying sizes.
+	for _, chunk := range []int{1, 3, 7, 64, len(doc)} {
+		s := c.NewStream()
+		for off := 0; off < len(doc); off += chunk {
+			end := off + chunk
+			if end > len(doc) {
+				end = len(doc)
+			}
+			n, err := s.Write(doc[off:end])
+			if err != nil || n != end-off {
+				t.Fatalf("Write = %d, %v", n, err)
+			}
+		}
+		got := s.Result()
+		if got.NGrams != want.NGrams {
+			t.Fatalf("chunk %d: NGrams %d != batch %d", chunk, got.NGrams, want.NGrams)
+		}
+		for i := range want.Counts {
+			if got.Counts[i] != want.Counts[i] {
+				t.Fatalf("chunk %d: count %d differs", chunk, i)
+			}
+		}
+		if got.Best != want.Best {
+			t.Fatalf("chunk %d: winner differs", chunk)
+		}
+	}
+}
+
+func TestStreamImplementsWriter(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 500})
+	c, _ := New(ps, BackendDirect)
+	s := c.NewStream()
+	var _ io.Writer = s
+	doc := getMiniCorpus(t).Test["en"][0].Text
+	if _, err := io.Copy(s, bytes.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Result()
+	if r.BestLanguage(c.Languages()) != "en" {
+		t.Errorf("io.Copy path classified as %q", r.BestLanguage(c.Languages()))
+	}
+}
+
+func TestStreamIntermediateResults(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 1000})
+	c, _ := New(ps, BackendBloom)
+	doc := getMiniCorpus(t).Test["fi"][0].Text
+	s := c.NewStream()
+	s.Write(doc[:len(doc)/2])
+	mid := s.Result()
+	s.Write(doc[len(doc)/2:])
+	full := s.Result()
+	if mid.NGrams >= full.NGrams {
+		t.Error("intermediate result saw as many n-grams as the full document")
+	}
+	if mid.NGrams == 0 {
+		t.Error("no n-grams at midpoint")
+	}
+	// Counts only grow.
+	for i := range mid.Counts {
+		if full.Counts[i] < mid.Counts[i] {
+			t.Error("counts decreased as the stream grew")
+		}
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 1000})
+	c, _ := New(ps, BackendBloom)
+	docA := getMiniCorpus(t).Test["en"][0].Text
+	docB := getMiniCorpus(t).Test["pt"][0].Text
+	s := c.NewStream()
+	s.Write(docA)
+	s.Reset()
+	s.Write(docB)
+	got := s.Result()
+	want := c.Classify(docB)
+	if got.NGrams != want.NGrams || got.Best != want.Best {
+		t.Error("Reset leaked state from the previous document")
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 500})
+	c, _ := New(ps, BackendDirect)
+	s := c.NewStream()
+	r := s.Result()
+	if r.Best != -1 || r.NGrams != 0 {
+		t.Errorf("empty stream result = %+v", r)
+	}
+}
+
+func TestStreamSubsample(t *testing.T) {
+	cfg := Config{TopT: 500, Subsample: 2}
+	ps := trainMini(t, cfg)
+	c, _ := New(ps, BackendDirect)
+	doc := getMiniCorpus(t).Test["en"][0].Text
+	s := c.NewStream()
+	s.Write(doc)
+	got := s.Result()
+	want := c.Classify(doc)
+	if got.NGrams != want.NGrams {
+		t.Errorf("subsampled stream NGrams %d != batch %d", got.NGrams, want.NGrams)
+	}
+}
+
+func BenchmarkStreamWrite(b *testing.B) {
+	ps := trainMini(b, Config{TopT: 1000})
+	c, err := New(ps, BackendBloom)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := getMiniCorpus(b).Test["en"][0].Text
+	s := c.NewStream()
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		s.Write(doc)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Training snippets in scripts the 5-bit pipeline cannot represent:
+// Greek, Russian and Ukrainian Cyrillic, plus English for contrast.
+var wideTraining = map[string][]string{
+	"el": {
+		"το συμβούλιο θεσπίζει τα αναγκαία μέτρα για την εφαρμογή του παρόντος κανονισμού",
+		"η επιτροπή υποβάλλει έκθεση στο ευρωπαϊκό κοινοβούλιο και στο συμβούλιο",
+		"τα κράτη μέλη θέτουν σε ισχύ τις αναγκαίες νομοθετικές και κανονιστικές διατάξεις",
+		"ο παρών κανονισμός αρχίζει να ισχύει την εικοστή ημέρα από τη δημοσίευσή του",
+	},
+	"ru": {
+		"совет принимает необходимые меры для применения настоящего регламента",
+		"комиссия представляет доклад европейскому парламенту и совету",
+		"государства члены вводят в действие необходимые законодательные положения",
+		"настоящий регламент вступает в силу на двадцатый день после его опубликования",
+	},
+	"uk": {
+		"рада вживає необхідних заходів для застосування цього регламенту",
+		"комісія подає доповідь європейському парламенту та раді",
+		"держави члени вводять в дію необхідні законодавчі положення",
+		"цей регламент набирає чинності на двадцятий день після його опублікування",
+	},
+	"en": {
+		"the council shall adopt the measures necessary for the application of this regulation",
+		"the commission shall submit a report to the european parliament and to the council",
+		"member states shall bring into force the necessary laws and regulations",
+		"this regulation shall enter into force on the twentieth day following its publication",
+	},
+}
+
+func wideClassifier(t *testing.T) *WideClassifier {
+	t.Helper()
+	cfg := Config{N: 3, TopT: 2000, K: 4, MBits: 16 * 1024, Seed: 9}
+	c, err := TrainWide(cfg, wideTraining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTrainWideValidation(t *testing.T) {
+	if _, err := TrainWide(Config{}, nil); err == nil {
+		t.Error("TrainWide with no languages succeeded")
+	}
+	if _, err := TrainWide(Config{N: 5}, wideTraining); err == nil {
+		t.Error("TrainWide with n=5 (80-bit grams) succeeded")
+	}
+	if _, err := TrainWide(Config{MBits: 1000}, wideTraining); err == nil {
+		t.Error("TrainWide with bad m succeeded")
+	}
+	if _, err := TrainWide(Config{}, map[string][]string{"el": nil}); err == nil {
+		t.Error("TrainWide with empty language succeeded")
+	}
+}
+
+func TestWideClassifyScripts(t *testing.T) {
+	c := wideClassifier(t)
+	cases := map[string]string{
+		"el": "το ευρωπαϊκό κοινοβούλιο και το συμβούλιο θεσπίζουν μέτρα για την εφαρμογή",
+		"ru": "европейский парламент и совет принимают меры для применения регламента",
+		"uk": "європейський парламент та рада вживають заходів для застосування регламенту",
+		"en": "the european parliament and the council shall adopt measures for the application",
+	}
+	for want, text := range cases {
+		r := c.Classify(text)
+		if got := r.BestLanguage(c.Languages()); got != want {
+			t.Errorf("classified %q text as %q (counts %v)", want, got, r.Counts)
+		}
+	}
+}
+
+func TestWideClassifySeparatesCloseCyrillic(t *testing.T) {
+	// Russian and Ukrainian share the script but differ in letters like
+	// і/ї/є vs и/ы/э; the 16-bit alphabet preserves that signal.
+	c := wideClassifier(t)
+	r := c.Classify("держави члени вводять в дію необхідні положення цього регламенту")
+	if got := r.BestLanguage(c.Languages()); got != "uk" {
+		t.Errorf("Ukrainian text classified as %q", got)
+	}
+}
+
+func TestWideClassifyEmpty(t *testing.T) {
+	c := wideClassifier(t)
+	r := c.Classify("")
+	if r.Best != -1 || r.NGrams != 0 {
+		t.Errorf("empty text result = %+v", r)
+	}
+	r = c.Classify("12345 67 89") // no letters
+	if r.NGrams == 0 {
+		// Digits map to white space; windows of pure white space are
+		// still n-grams (the pipeline is oblivious to word boundaries,
+		// like the narrow path).
+		t.Log("letterless text produced no n-grams")
+	}
+}
+
+func TestWideCaseFolding(t *testing.T) {
+	c := wideClassifier(t)
+	lower := c.Classify("το συμβούλιο θεσπίζει τα αναγκαία μέτρα για την εφαρμογή")
+	upper := c.Classify("ΤΟ ΣΥΜΒΟΎΛΙΟ ΘΕΣΠΊΖΕΙ ΤΑ ΑΝΑΓΚΑΊΑ ΜΈΤΡΑ ΓΙΑ ΤΗΝ ΕΦΑΡΜΟΓΉ")
+	if lower.BestLanguage(c.Languages()) != upper.BestLanguage(c.Languages()) {
+		t.Error("case changed the wide classification")
+	}
+}
+
+func TestWideLanguagesSorted(t *testing.T) {
+	c := wideClassifier(t)
+	langs := c.Languages()
+	want := []string{"el", "en", "ru", "uk"}
+	for i := range want {
+		if langs[i] != want[i] {
+			t.Fatalf("Languages() = %v, want %v", langs, want)
+		}
+	}
+}
+
+func TestWideNoFalseNegativesOnTraining(t *testing.T) {
+	// Every training document must classify as its own language: the
+	// profiles contain its top n-grams and Bloom filters cannot lose
+	// them.
+	c := wideClassifier(t)
+	for lang, texts := range wideTraining {
+		for i, text := range texts {
+			r := c.Classify(text)
+			if got := r.BestLanguage(c.Languages()); got != lang {
+				t.Errorf("%s training doc %d classified as %q", lang, i, got)
+			}
+		}
+	}
+}
+
+func BenchmarkWideClassify(b *testing.B) {
+	cfg := Config{N: 3, TopT: 2000, K: 4, MBits: 16 * 1024, Seed: 9}
+	c, err := TrainWide(cfg, wideTraining)
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := strings.Repeat("европейский парламент и совет принимают меры ", 50)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(text)
+	}
+}

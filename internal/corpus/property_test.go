@@ -1,0 +1,139 @@
+package corpus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Every generated document must be pure ISO-8859-1 text drawn from the
+// classes the alphabet converter understands: letters (plain or
+// accented), spaces, newlines and the punctuation the generator emits.
+func TestDocumentsAreCleanLatin1(t *testing.T) {
+	allowed := func(b byte) bool {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z':
+			return true
+		case b >= 0xC0 && b != 0xD7 && b != 0xF7: // accented letters
+			return true
+		case b == ' ', b == '\n', b == '.', b == ',':
+			return true
+		}
+		return false
+	}
+	for _, code := range Languages() {
+		spec, _ := ByCode(code)
+		doc := NewGenerator(spec, 99).Document(500)
+		for i, b := range doc {
+			if !allowed(b) {
+				t.Fatalf("%s: byte %#x at offset %d outside the generator's alphabet", code, b, i)
+			}
+		}
+	}
+}
+
+// Document generation is a pure function of (spec, seed, length).
+func TestDocumentPureFunction(t *testing.T) {
+	spec, _ := ByCode("pt")
+	prop := func(seed int64, words uint8) bool {
+		n := int(words)
+		a := NewGenerator(spec, seed).Document(n)
+		b := NewGenerator(spec, seed).Document(n)
+		return string(a) == string(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Sentences are well-formed: no double spaces, no space before a
+// period, text between periods non-empty.
+func TestDocumentSentenceStructure(t *testing.T) {
+	spec, _ := ByCode("en")
+	doc := NewGenerator(spec, 5).Document(400)
+	for i := 0; i+1 < len(doc); i++ {
+		if doc[i] == ' ' && doc[i+1] == ' ' {
+			t.Fatalf("double space at offset %d", i)
+		}
+		if doc[i] == ' ' && doc[i+1] == '.' {
+			t.Fatalf("space before period at offset %d", i)
+		}
+		if doc[i] == '.' && doc[i+1] == '.' {
+			t.Fatalf("empty sentence at offset %d", i)
+		}
+	}
+}
+
+// Sentence-initial capitalization: the first letter after ". " must be
+// upper case (plain or accented).
+func TestDocumentCapitalization(t *testing.T) {
+	spec, _ := ByCode("da")
+	doc := NewGenerator(spec, 11).Document(400)
+	isUpper := func(b byte) bool {
+		return (b >= 'A' && b <= 'Z') || (b >= 0xC0 && b <= 0xDE && b != 0xD7)
+	}
+	if !isUpper(doc[0]) {
+		t.Errorf("document does not start with a capital: %#x", doc[0])
+	}
+	for i := 0; i+2 < len(doc); i++ {
+		if doc[i] == '.' && (doc[i+1] == ' ' || doc[i+1] == '\n') {
+			if !isUpper(doc[i+2]) {
+				t.Fatalf("sentence at offset %d starts with %q", i+2, doc[i+2])
+			}
+		}
+	}
+}
+
+// The shared international pool must appear in every language's output
+// at roughly the configured rate.
+func TestSharedTokensAppear(t *testing.T) {
+	for _, code := range []string{"en", "fi", "cs"} {
+		spec, _ := ByCode(code)
+		doc := NewGenerator(spec, 3).Document(3000)
+		// "euratom" is shared and appears in no language's own list.
+		if !containsWord(doc, "euratom") && !containsWord(doc, "schengen") && !containsWord(doc, "eurostat") {
+			t.Errorf("%s: no shared-pool tokens in a 3000-word document", code)
+		}
+	}
+}
+
+func containsWord(doc []byte, w string) bool {
+	return indexOf(doc, []byte(w)) >= 0
+}
+
+func indexOf(s, sub []byte) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		match := true
+		for j := range sub {
+			if s[i+j] != sub[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+// Sibling borrowing is symmetric in configuration.
+func TestSiblingWiring(t *testing.T) {
+	pairs := map[string]string{"cs": "sk", "es": "pt", "da": "sv", "fi": "et"}
+	for a, b := range pairs {
+		sa, _ := ByCode(a)
+		sb, _ := ByCode(b)
+		if sa.Sibling != b || sb.Sibling != a {
+			t.Errorf("%s/%s sibling wiring broken: %q/%q", a, b, sa.Sibling, sb.Sibling)
+		}
+		if sa.BorrowRate != sb.BorrowRate {
+			t.Errorf("%s/%s borrow rates asymmetric", a, b)
+		}
+		if sa.BorrowRate <= 0 || sa.BorrowRate >= 0.5 {
+			t.Errorf("%s borrow rate %v out of (0,0.5)", a, sa.BorrowRate)
+		}
+	}
+	en, _ := ByCode("en")
+	if en.Sibling != "" {
+		t.Error("English has a sibling")
+	}
+}

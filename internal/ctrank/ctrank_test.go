@@ -1,0 +1,217 @@
+package ctrank
+
+import (
+	"testing"
+
+	"bloomlang/internal/corpus"
+)
+
+func miniClassifier(t testing.TB) (*Classifier, *corpus.Corpus) {
+	t.Helper()
+	cfg := corpus.Config{
+		Languages:       []string{"en", "fi", "fr"},
+		DocsPerLanguage: 20,
+		WordsPerDoc:     150,
+		TrainFraction:   0.3,
+		Seed:            3,
+	}
+	corp, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := TrainCorpus(DefaultConfig(), corp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, corp
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MaxN != 5 || cfg.ProfileSize != 400 {
+		t.Errorf("DefaultConfig = %+v, want Cavnar-Trenkle 5/400", cfg)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(DefaultConfig(), nil); err == nil {
+		t.Error("Train with no languages succeeded")
+	}
+	if _, err := Train(DefaultConfig(), map[string][][]byte{"en": nil}); err == nil {
+		t.Error("Train with empty language succeeded")
+	}
+}
+
+func TestLanguagesSorted(t *testing.T) {
+	c, _ := miniClassifier(t)
+	langs := c.Languages()
+	want := []string{"en", "fi", "fr"}
+	for i := range want {
+		if langs[i] != want[i] {
+			t.Fatalf("Languages() = %v, want %v", langs, want)
+		}
+	}
+}
+
+func TestClassifyAccuracy(t *testing.T) {
+	c, corp := miniClassifier(t)
+	correct, total := 0, 0
+	for _, lang := range corp.Languages {
+		for _, d := range corp.Test[lang] {
+			r := c.Classify(d.Text)
+			if r.BestLanguage(c.Languages()) == lang {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.9 {
+		t.Errorf("accuracy %.2f below 0.9 on easy 3-language corpus", acc)
+	}
+}
+
+func TestClassifyEmptyDocument(t *testing.T) {
+	c, _ := miniClassifier(t)
+	r := c.Classify(nil)
+	if r.Best != -1 {
+		t.Errorf("empty doc Best = %d, want -1", r.Best)
+	}
+	if r.BestLanguage(c.Languages()) != "" {
+		t.Error("empty doc has a language")
+	}
+	r2 := c.Classify([]byte("12345 678 ---"))
+	if r2.Best != -1 {
+		t.Error("letterless doc classified")
+	}
+}
+
+func TestDistancesOrdered(t *testing.T) {
+	c, corp := miniClassifier(t)
+	doc := corp.Test["fi"][0].Text
+	r := c.Classify(doc)
+	fiIdx := -1
+	for i, l := range c.Languages() {
+		if l == "fi" {
+			fiIdx = i
+		}
+	}
+	for i, d := range r.Distances {
+		if i != fiIdx && d <= r.Distances[fiIdx] {
+			t.Errorf("distance to %s (%d) <= distance to fi (%d)", c.Languages()[i], d, r.Distances[fiIdx])
+		}
+	}
+}
+
+func TestAccumulatePadding(t *testing.T) {
+	counts := map[string]int{}
+	accumulate(counts, []byte("ab"), 3)
+	// Padded token "_ab_": 1-grams _,a,b,_ ; 2-grams _a,ab,b_ ; 3-grams _ab,ab_.
+	for _, want := range []string{"_", "a", "b", "_a", "ab", "b_", "_ab", "ab_"} {
+		if counts[want] == 0 {
+			t.Errorf("missing n-gram %q", want)
+		}
+	}
+	if counts["_"] != 2 {
+		t.Errorf("count of padding gram = %d, want 2", counts["_"])
+	}
+}
+
+func TestAccumulateCaseFolds(t *testing.T) {
+	a := map[string]int{}
+	b := map[string]int{}
+	accumulate(a, []byte("Hello"), 3)
+	accumulate(b, []byte("hello"), 3)
+	if len(a) != len(b) {
+		t.Fatalf("case folding broken: %d vs %d grams", len(a), len(b))
+	}
+	for g, n := range a {
+		if b[g] != n {
+			t.Errorf("gram %q: %d vs %d", g, n, b[g])
+		}
+	}
+}
+
+func TestAccumulateSingleLetterTokens(t *testing.T) {
+	// Single-letter words ("a", Spanish "y") are real function words and
+	// must contribute padded n-grams: "_a_" etc.
+	counts := map[string]int{}
+	accumulate(counts, []byte("a"), 3)
+	for _, want := range []string{"_a", "a_", "_a_"} {
+		if counts[want] == 0 {
+			t.Errorf("missing n-gram %q from single-letter token", want)
+		}
+	}
+}
+
+func TestRankDeterministicTieBreak(t *testing.T) {
+	counts := map[string]int{"zz": 5, "aa": 5, "mm": 5}
+	r := rank(counts, 2)
+	if _, ok := r["aa"]; !ok {
+		t.Error("rank dropped lexicographically-first tie")
+	}
+	if r["aa"] != 0 {
+		t.Errorf("rank[aa] = %d, want 0", r["aa"])
+	}
+	if _, ok := r["zz"]; ok {
+		t.Error("rank kept lexicographically-last tie beyond cap")
+	}
+}
+
+func TestLetterFolding(t *testing.T) {
+	cases := map[byte]byte{
+		'a': 'a', 'Z': 'z', '0': 0, ' ': 0, ',': 0,
+		0xC9: 0xE9, // É -> é
+		0xE9: 0xE9, // é stays
+		0xD7: 0,    // multiplication sign
+		0xF7: 0,    // division sign
+	}
+	for in, want := range cases {
+		if got := letter(in); got != want {
+			t.Errorf("letter(%#x) = %#x, want %#x", in, got, want)
+		}
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	c, corp := miniClassifier(t)
+	docs := corp.TestDocuments("")
+	rep := c.Measure(docs)
+	if rep.Docs != len(docs) {
+		t.Errorf("Docs = %d, want %d", rep.Docs, len(docs))
+	}
+	if rep.MBPerSec() <= 0 {
+		t.Error("throughput not positive")
+	}
+	if rep.Accuracy() < 0.9 {
+		t.Errorf("measured accuracy %.2f below 0.9", rep.Accuracy())
+	}
+	var zero ThroughputReport
+	if zero.MBPerSec() != 0 || zero.Accuracy() != 0 {
+		t.Error("zero report must give zero rates")
+	}
+}
+
+func BenchmarkClassify10KB(b *testing.B) {
+	cfg := corpus.Config{
+		Languages:       []string{"en", "fi", "fr", "es", "pt", "da", "sv", "cs", "sk", "et"},
+		DocsPerLanguage: 4,
+		WordsPerDoc:     1300,
+		TrainFraction:   0.5,
+		Seed:            3,
+	}
+	corp, err := corpus.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := TrainCorpus(DefaultConfig(), corp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := corp.Test["en"][0].Text
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(doc)
+	}
+}

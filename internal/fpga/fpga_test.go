@@ -1,0 +1,283 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEP2S180Inventory(t *testing.T) {
+	dev := EP2S180()
+	if dev.M4Ks != 768 {
+		t.Errorf("M4Ks = %d, want 768 (the paper's '768 4 Kbit embedded RAMs')", dev.M4Ks)
+	}
+	if dev.M4KBits != 4096 {
+		t.Errorf("M4KBits = %d, want 4096", dev.M4KBits)
+	}
+	if dev.MRAMs != 9 {
+		t.Errorf("MRAMs = %d, want 9", dev.MRAMs)
+	}
+}
+
+// Table 2's M4K column is pure arithmetic and must be exact.
+func TestTable2M4KCountsExact(t *testing.T) {
+	dev := EP2S180()
+	cases := []struct {
+		mKbits, k, want int
+	}{
+		{16, 4, 128},
+		{16, 3, 96},
+		{16, 2, 64},
+		{8, 4, 64},
+		{8, 3, 48},
+		{8, 2, 32},
+		{4, 6, 48},
+		{4, 5, 40},
+	}
+	for _, c := range cases {
+		cfg := Table2Config(c.k, uint32(c.mKbits)*1024)
+		if got := cfg.M4Count(dev); got != c.want {
+			t.Errorf("m=%dKbit k=%d: M4K = %d, want %d", c.mKbits, c.k, got, c.want)
+		}
+	}
+}
+
+// The full Table 2 rows come back verbatim for calibrated points.
+func TestTable2Calibrated(t *testing.T) {
+	dev := EP2S180()
+	cases := []struct {
+		mKbits, k, logic, regs, m4k int
+		freq                        float64
+	}{
+		{16, 4, 5480, 3849, 128, 182},
+		{16, 3, 4441, 3340, 96, 189},
+		{16, 2, 3547, 2780, 64, 191},
+		{8, 4, 4760, 3722, 64, 194},
+		{8, 3, 4072, 3229, 48, 202},
+		{8, 2, 3363, 2713, 32, 202},
+		{4, 6, 5458, 4471, 48, 197},
+		{4, 5, 4983, 4006, 40, 198},
+	}
+	for _, c := range cases {
+		rep, err := EstimateModule(Table2Config(c.k, uint32(c.mKbits)*1024), dev)
+		if err != nil {
+			t.Fatalf("m=%d k=%d: %v", c.mKbits, c.k, err)
+		}
+		if !rep.Calibrated {
+			t.Errorf("m=%d k=%d: not calibrated", c.mKbits, c.k)
+		}
+		if rep.Logic != c.logic || rep.Registers != c.regs || rep.M4Ks != c.m4k || rep.FreqMHz != c.freq {
+			t.Errorf("m=%d k=%d: got (%d, %d, %d, %.0f), want (%d, %d, %d, %.0f)",
+				c.mKbits, c.k, rep.Logic, rep.Registers, rep.M4Ks, rep.FreqMHz,
+				c.logic, c.regs, c.m4k, c.freq)
+		}
+	}
+}
+
+// Off-table points must interpolate sensibly: within 15% of the nearest
+// published value and monotone in k.
+func TestModuleInterpolation(t *testing.T) {
+	dev := EP2S180()
+	// k=5 at m=16Kbit is not in Table 2; it must land above k=4's logic.
+	rep5, err := EstimateModule(Table2Config(5, 16*1024), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep5.Calibrated {
+		t.Error("k=5 m=16Kbit should not be calibrated")
+	}
+	if rep5.Logic <= 5480 {
+		t.Errorf("k=5 logic %d not above k=4's 5480", rep5.Logic)
+	}
+	if rep5.M4Ks != 160 {
+		t.Errorf("k=5 m=16Kbit M4K = %d, want 160", rep5.M4Ks)
+	}
+	if rep5.FreqMHz >= 191 || rep5.FreqMHz < freqFloor {
+		t.Errorf("k=5 freq %.0f not below the k=2 point", rep5.FreqMHz)
+	}
+	// The model evaluated at a calibrated shape should be within 15% of
+	// the published number (checks the fit didn't drift).
+	w := addressBits(16 * 1024)
+	approx := logicBase(w) + 4*logicPerHash(w)
+	if math.Abs(approx-5480)/5480 > 0.15 {
+		t.Errorf("fitted model at (16,4) = %.0f, >15%% from 5480", approx)
+	}
+}
+
+func TestModuleScalingWithCopies(t *testing.T) {
+	dev := EP2S180()
+	full, _ := EstimateModule(ModuleConfig{K: 4, MBits: 16 * 1024, Languages: 2, Copies: 4}, dev)
+	half, err := EstimateModule(ModuleConfig{K: 4, MBits: 16 * 1024, Languages: 2, Copies: 2}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.M4Ks*2 != full.M4Ks {
+		t.Errorf("halving copies: M4K %d, want %d", half.M4Ks, full.M4Ks/2)
+	}
+	if half.Logic >= full.Logic {
+		t.Errorf("halving copies did not reduce logic (%d >= %d)", half.Logic, full.Logic)
+	}
+	if got := (ModuleConfig{K: 4, MBits: 16 * 1024, Languages: 2, Copies: 2}).NGramsPerClock(); got != 4 {
+		t.Errorf("2 copies accept %d n-grams/clock, want 4", got)
+	}
+}
+
+func TestModuleValidation(t *testing.T) {
+	dev := EP2S180()
+	bad := []ModuleConfig{
+		{K: 0, MBits: 16 * 1024, Languages: 2, Copies: 4},
+		{K: 4, MBits: 1000, Languages: 2, Copies: 4},
+		{K: 4, MBits: 2048, Languages: 2, Copies: 4}, // below one M4K
+		{K: 4, MBits: 16 * 1024, Languages: 0, Copies: 4},
+		{K: 4, MBits: 16 * 1024, Languages: 2, Copies: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := EstimateModule(cfg, dev); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+}
+
+func TestBitsPerLanguage(t *testing.T) {
+	// §5.2: the most space-efficient configuration uses just 24 Kbits
+	// per language (k=6, m=4Kbit).
+	cfg := Table2Config(6, 4*1024)
+	if got := cfg.BitsPerLanguage(); got != 24*1024 {
+		t.Errorf("BitsPerLanguage = %d, want 24Kbit", got)
+	}
+}
+
+// Table 3's two published device builds come back verbatim.
+func TestTable3Calibrated(t *testing.T) {
+	dev := EP2S180()
+	ten, err := EstimateSystem(ModuleConfig{K: 4, MBits: 16 * 1024, Languages: 10, Copies: 4}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ten.Calibrated {
+		t.Error("10-language build not calibrated")
+	}
+	if ten.Logic != 38891 || ten.Registers != 27889 || ten.M512s != 36 || ten.M4Ks != 680 || ten.MRAMs != 9 || ten.FreqMHz != 194 {
+		t.Errorf("10-language build = %+v, want Table 3 row 1", ten)
+	}
+	if !ten.Fits {
+		t.Error("10-language build reported as not fitting")
+	}
+	thirty, err := EstimateSystem(ModuleConfig{K: 6, MBits: 4 * 1024, Languages: 30, Copies: 4}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thirty.Logic != 85924 || thirty.M4Ks != 768 || thirty.FreqMHz != 170 {
+		t.Errorf("30-language build = %+v, want Table 3 row 2", thirty)
+	}
+	if !thirty.Fits {
+		t.Error("30-language build reported as not fitting")
+	}
+	// §5.3: logic varies between a third and two-thirds of the total.
+	if ten.LogicUtilization < 0.2 || ten.LogicUtilization > 0.4 {
+		t.Errorf("10-language utilization %.2f outside about-a-third", ten.LogicUtilization)
+	}
+	if thirty.LogicUtilization < 0.5 || thirty.LogicUtilization > 0.7 {
+		t.Errorf("30-language utilization %.2f outside about-two-thirds", thirty.LogicUtilization)
+	}
+}
+
+func TestSystemInterpolatedBuild(t *testing.T) {
+	dev := EP2S180()
+	// 20 languages at k=4, m=8Kbit: not a published point.
+	rep, err := EstimateSystem(ModuleConfig{K: 4, MBits: 8 * 1024, Languages: 20, Copies: 4}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Calibrated {
+		t.Error("unpublished build marked calibrated")
+	}
+	wantM4K := 4*20*4*2 + infraM4K(20)
+	if rep.M4Ks != wantM4K {
+		t.Errorf("M4K = %d, want %d", rep.M4Ks, wantM4K)
+	}
+	if !rep.Fits {
+		t.Error("20-language 8Kbit build should fit the device")
+	}
+	if float64(rep.Logic) <= sysInfraLogic {
+		t.Errorf("logic %d not above infrastructure floor", rep.Logic)
+	}
+}
+
+func TestSystemOverflowDetected(t *testing.T) {
+	dev := EP2S180()
+	// 40 languages at k=4, m=16Kbit needs 2560 M4Ks: cannot fit.
+	rep, err := EstimateSystem(ModuleConfig{K: 4, MBits: 16 * 1024, Languages: 40, Copies: 4}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fits {
+		t.Error("40-language 16Kbit build reported as fitting 768 M4Ks")
+	}
+}
+
+func TestMaxLanguages(t *testing.T) {
+	dev := EP2S180()
+	// §5.2: k=4, m=16Kbit supports "only twelve languages" by pure
+	// M4K arithmetic.
+	if got := MaxLanguagesIdeal(4, 16*1024, 4, dev); got != 12 {
+		t.Errorf("ideal max languages (k=4, m=16Kbit) = %d, want 12", got)
+	}
+	// §5.2/Table 3: the final k=6, m=4Kbit implementation supports
+	// thirty languages after infrastructure.
+	if got := MaxLanguages(6, 4*1024, 4, dev); got != 30 {
+		t.Errorf("max languages (k=6, m=4Kbit) = %d, want 30", got)
+	}
+	// Ideal for the space-efficient configuration is 32.
+	if got := MaxLanguagesIdeal(6, 4*1024, 4, dev); got != 32 {
+		t.Errorf("ideal max languages (k=6, m=4Kbit) = %d, want 32", got)
+	}
+	if got := MaxLanguages(0, 4*1024, 4, dev); got != 0 {
+		t.Errorf("k=0 max languages = %d, want 0", got)
+	}
+}
+
+func TestSubsamplingDoublesLanguages(t *testing.T) {
+	// §5.2: sub-sampling every other n-gram halves the copies needed
+	// for the same input rate, doubling supported languages.
+	dev := EP2S180()
+	full := MaxLanguagesIdeal(4, 16*1024, 4, dev)
+	sub := MaxLanguagesIdeal(4, 16*1024, 2, dev)
+	if sub != 2*full {
+		t.Errorf("subsampled max %d, want %d (double of %d)", sub, 2*full, full)
+	}
+}
+
+func TestPeakThroughput(t *testing.T) {
+	// §5.4: 194 MHz × 8 n-grams/clock = 1,552 million n-grams/sec
+	// ≈ 1.45 GB/s in MB (2^20) units.
+	mbps := PeakThroughputMBps(194, 8)
+	if mbps < 1450 || mbps < 1400 || mbps > 1500 {
+		t.Errorf("peak throughput = %.0f MB/s, want about 1480", mbps)
+	}
+	gb := mbps / 1024
+	if gb < 1.4 || gb > 1.5 {
+		t.Errorf("peak = %.2f GB/s, want about 1.4-1.5", gb)
+	}
+}
+
+func TestFrequencyMonotoneInM4K(t *testing.T) {
+	dev := EP2S180()
+	// More RAM blocks => harder routing => lower frequency (§5.2).
+	prev := math.Inf(1)
+	for _, k := range []int{2, 3, 4, 5, 6, 7, 8} {
+		rep, err := EstimateModule(ModuleConfig{K: k, MBits: 32 * 1024, Languages: 2, Copies: 4}, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.FreqMHz > prev {
+			t.Errorf("k=%d: frequency %.0f rose as M4K count grew", k, rep.FreqMHz)
+		}
+		prev = rep.FreqMHz
+	}
+}
+
+func TestFormatMHz(t *testing.T) {
+	if got := FormatMHz(193.6); got != "194 MHz" {
+		t.Errorf("FormatMHz = %q", got)
+	}
+}

@@ -1,0 +1,238 @@
+package h3
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, in, out uint, seed int64) *Func {
+	t.Helper()
+	f, err := New(in, out, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("New(%d,%d): %v", in, out, err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ in, out uint }{
+		{0, 14}, {33, 14}, {20, 0}, {20, 33},
+	} {
+		if _, err := New(c.in, c.out, rng); err == nil {
+			t.Errorf("New(%d,%d) succeeded, want error", c.in, c.out)
+		}
+	}
+	if _, err := New(20, 14, rng); err != nil {
+		t.Errorf("New(20,14): %v", err)
+	}
+}
+
+func TestZeroHashesToZero(t *testing.T) {
+	f := mustNew(t, 20, 14, 42)
+	if got := f.Hash(0); got != 0 {
+		t.Errorf("Hash(0) = %d, want 0 (H3 is linear)", got)
+	}
+}
+
+// H3 is linear over GF(2): h(x^y) = h(x)^h(y). This is the defining
+// property of the family and must hold for every member.
+func TestLinearity(t *testing.T) {
+	f := mustNew(t, 20, 14, 7)
+	prop := func(x, y uint32) bool {
+		return f.Hash(x^y) == f.Hash(x)^f.Hash(y)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The chunk-table evaluation must agree with the defining bit-loop
+// formulation for every input.
+func TestTableDecompositionExact(t *testing.T) {
+	f := mustNew(t, 20, 14, 31)
+	ref := func(x uint32) uint32 {
+		var h uint32
+		for i := uint(0); i < f.InputBits(); i++ {
+			if x&(1<<i) != 0 {
+				h ^= f.Row(i)
+			}
+		}
+		return h
+	}
+	prop := func(x uint32) bool { return f.Hash(x) == ref(x) }
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleBitInputsReturnRows(t *testing.T) {
+	f := mustNew(t, 20, 14, 3)
+	for i := uint(0); i < 20; i++ {
+		if got, want := f.Hash(1<<i), f.Row(i); got != want {
+			t.Errorf("Hash(1<<%d) = %#x, want row value %#x", i, got, want)
+		}
+	}
+}
+
+func TestOutputMasked(t *testing.T) {
+	f := mustNew(t, 20, 10, 11)
+	for x := uint32(0); x < 4096; x++ {
+		if h := f.Hash(x); h >= 1<<10 {
+			t.Fatalf("Hash(%d) = %d exceeds 10-bit range", x, h)
+		}
+	}
+}
+
+func TestHighBitsIgnored(t *testing.T) {
+	f := mustNew(t, 20, 14, 5)
+	// With only 20 input bits wired, the upper 12 bits must contribute
+	// nothing: Hash(x | hi) == Hash(x & lowmask) for any hi above bit 19.
+	direct := func(x uint32) bool {
+		return f.Hash(x&0xFFFFF) == f.Hash(x|0x80000000)
+	}
+	if err := quick.Check(direct, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := mustNew(t, 20, 14, 99)
+	b := mustNew(t, 20, 14, 99)
+	for x := uint32(0); x < 1000; x++ {
+		if a.Hash(x) != b.Hash(x) {
+			t.Fatalf("same seed produced different functions at x=%d", x)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := mustNew(t, 20, 14, 1)
+	b := mustNew(t, 20, 14, 2)
+	same := 0
+	const n = 1000
+	for x := uint32(1); x <= n; x++ {
+		if a.Hash(x) == b.Hash(x) {
+			same++
+		}
+	}
+	// Two independent 14-bit hashes agree with probability 2^-14; seeing
+	// more than a handful of agreements in 1000 trials means the seeds
+	// were not independent.
+	if same > 5 {
+		t.Errorf("functions from different seeds agreed on %d/%d inputs", same, n)
+	}
+}
+
+// A crude uniformity check: hashing a counter sequence into 256 buckets
+// should not leave any bucket empty or grossly overloaded.
+func TestRoughUniformity(t *testing.T) {
+	f := mustNew(t, 20, 8, 12345)
+	var buckets [256]int
+	const n = 1 << 16
+	for x := uint32(0); x < n; x++ {
+		buckets[f.Hash(x)]++
+	}
+	want := n / 256
+	for i, got := range buckets {
+		if got < want/2 || got > want*2 {
+			t.Errorf("bucket %d has %d entries, want within [%d,%d]", i, got, want/2, want*2)
+		}
+	}
+}
+
+func TestRowPanicsOutOfRange(t *testing.T) {
+	f := mustNew(t, 20, 14, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("Row(20) did not panic")
+		}
+	}()
+	f.Row(20)
+}
+
+func TestFamily(t *testing.T) {
+	fam, err := NewFamily(4, 20, 14, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.K() != 4 {
+		t.Fatalf("K = %d, want 4", fam.K())
+	}
+	dst := make([]uint32, 4)
+	got := fam.HashAll(dst, 0xABCDE)
+	for i := 0; i < 4; i++ {
+		if got[i] != fam.Func(i).Hash(0xABCDE) {
+			t.Errorf("HashAll[%d] disagrees with Func(%d).Hash", i, i)
+		}
+	}
+}
+
+func TestFamilyMembersIndependent(t *testing.T) {
+	fam, err := NewFamily(4, 20, 14, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fam.K(); i++ {
+		for j := i + 1; j < fam.K(); j++ {
+			same := 0
+			for x := uint32(1); x <= 1000; x++ {
+				if fam.Func(i).Hash(x) == fam.Func(j).Hash(x) {
+					same++
+				}
+			}
+			if same > 5 {
+				t.Errorf("family members %d and %d agree on %d/1000 inputs", i, j, same)
+			}
+		}
+	}
+}
+
+func TestFamilyValidation(t *testing.T) {
+	if _, err := NewFamily(0, 20, 14, 1); err == nil {
+		t.Error("NewFamily(0,...) succeeded, want error")
+	}
+	if _, err := NewFamily(2, 0, 14, 1); err == nil {
+		t.Error("NewFamily with bad input width succeeded, want error")
+	}
+}
+
+func TestFamilyDeterministic(t *testing.T) {
+	a, _ := NewFamily(6, 20, 12, 9)
+	b, _ := NewFamily(6, 20, 12, 9)
+	for i := 0; i < 6; i++ {
+		for x := uint32(0); x < 100; x++ {
+			if a.Func(i).Hash(x) != b.Func(i).Hash(x) {
+				t.Fatalf("family member %d differs for same seed", i)
+			}
+		}
+	}
+}
+
+func TestHashAllPanicsOnShortDst(t *testing.T) {
+	fam, _ := NewFamily(4, 20, 14, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("HashAll did not panic on short destination")
+		}
+	}()
+	fam.HashAll(make([]uint32, 3), 1)
+}
+
+func BenchmarkHash(b *testing.B) {
+	f, _ := New(20, 14, rand.New(rand.NewSource(1)))
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink ^= f.Hash(uint32(i) & 0xFFFFF)
+	}
+	_ = sink
+}
+
+func BenchmarkHashAllK4(b *testing.B) {
+	fam, _ := NewFamily(4, 20, 14, 1)
+	dst := make([]uint32, 4)
+	for i := 0; i < b.N; i++ {
+		fam.HashAll(dst, uint32(i)&0xFFFFF)
+	}
+}

@@ -1,0 +1,107 @@
+package h3
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Func64 is an H3 family member over inputs up to 64 bits wide — the
+// hash the §3.3 Unicode extension needs: a 4-gram of 16-bit characters
+// is a 64-bit word, and the XOR-tree evaluation is unchanged, just
+// wider. Everything else about the Bloom filter stays the same.
+type Func64 struct {
+	rows       [64]uint32
+	tab        [8][256]uint32
+	inputBits  uint
+	outputBits uint
+	mask       uint32
+}
+
+// MaxInputBits64 is the widest input a Func64 accepts.
+const MaxInputBits64 = 64
+
+// New64 constructs a wide H3 function with the given input and output
+// widths, drawing matrix rows from rng.
+func New64(inputBits, outputBits uint, rng *rand.Rand) (*Func64, error) {
+	if inputBits == 0 || inputBits > MaxInputBits64 {
+		return nil, fmt.Errorf("h3: input width %d out of range [1,%d]", inputBits, MaxInputBits64)
+	}
+	if outputBits == 0 || outputBits > 32 {
+		return nil, fmt.Errorf("h3: output width %d out of range [1,32]", outputBits)
+	}
+	f := &Func64{
+		inputBits:  inputBits,
+		outputBits: outputBits,
+		mask:       uint32(uint64(1)<<outputBits - 1),
+	}
+	for i := uint(0); i < inputBits; i++ {
+		f.rows[i] = rng.Uint32() & f.mask
+	}
+	for chunk := 0; chunk < 8; chunk++ {
+		for v := 1; v < 256; v++ {
+			var h uint32
+			for b := uint(0); b < 8; b++ {
+				if v&(1<<b) != 0 {
+					h ^= f.rows[uint(chunk)*8+b]
+				}
+			}
+			f.tab[chunk][v] = h
+		}
+	}
+	return f, nil
+}
+
+// Hash evaluates the function on x; bits above the input width are
+// ignored (their matrix rows are zero).
+func (f *Func64) Hash(x uint64) uint32 {
+	return f.tab[0][x&0xFF] ^
+		f.tab[1][x>>8&0xFF] ^
+		f.tab[2][x>>16&0xFF] ^
+		f.tab[3][x>>24&0xFF] ^
+		f.tab[4][x>>32&0xFF] ^
+		f.tab[5][x>>40&0xFF] ^
+		f.tab[6][x>>48&0xFF] ^
+		f.tab[7][x>>56]
+}
+
+// InputBits returns the configured input width.
+func (f *Func64) InputBits() uint { return f.inputBits }
+
+// OutputBits returns the configured output width.
+func (f *Func64) OutputBits() uint { return f.outputBits }
+
+// Row returns matrix row i, for tests.
+func (f *Func64) Row(i uint) uint32 {
+	if i >= f.inputBits {
+		panic(fmt.Sprintf("h3: row %d out of range [0,%d)", i, f.inputBits))
+	}
+	return f.rows[i]
+}
+
+// Family64 is an ordered set of independent wide H3 functions.
+type Family64 struct {
+	funcs []*Func64
+}
+
+// NewFamily64 draws k independent wide functions from a seeded stream.
+func NewFamily64(k int, inputBits, outputBits uint, seed int64) (*Family64, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("h3: family size %d must be positive", k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fam := &Family64{funcs: make([]*Func64, k)}
+	for i := range fam.funcs {
+		f, err := New64(inputBits, outputBits, rng)
+		if err != nil {
+			return nil, err
+		}
+		fam.funcs[i] = f
+	}
+	return fam, nil
+}
+
+// K returns the family size.
+func (fam *Family64) K() int { return len(fam.funcs) }
+
+// Func returns member i.
+func (fam *Family64) Func(i int) *Func64 { return fam.funcs[i] }

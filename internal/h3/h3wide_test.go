@@ -1,0 +1,127 @@
+package h3
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew64(t *testing.T, in, out uint, seed int64) *Func64 {
+	t.Helper()
+	f, err := New64(in, out, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("New64(%d,%d): %v", in, out, err)
+	}
+	return f
+}
+
+func TestNew64Validation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ in, out uint }{
+		{0, 14}, {65, 14}, {48, 0}, {48, 33},
+	} {
+		if _, err := New64(c.in, c.out, rng); err == nil {
+			t.Errorf("New64(%d,%d) succeeded, want error", c.in, c.out)
+		}
+	}
+	if _, err := New64(64, 14, rng); err != nil {
+		t.Errorf("New64(64,14): %v", err)
+	}
+}
+
+func TestFunc64Linearity(t *testing.T) {
+	f := mustNew64(t, 48, 14, 7)
+	prop := func(x, y uint64) bool {
+		return f.Hash(x^y) == f.Hash(x)^f.Hash(y)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFunc64TableMatchesRows(t *testing.T) {
+	f := mustNew64(t, 48, 14, 3)
+	ref := func(x uint64) uint32 {
+		var h uint32
+		for i := uint(0); i < f.InputBits(); i++ {
+			if x&(1<<i) != 0 {
+				h ^= f.Row(i)
+			}
+		}
+		return h
+	}
+	prop := func(x uint64) bool { return f.Hash(x) == ref(x) }
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFunc64HighBitsIgnored(t *testing.T) {
+	f := mustNew64(t, 48, 14, 5)
+	prop := func(x uint64) bool {
+		return f.Hash(x&(1<<48-1)) == f.Hash(x|1<<63)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFunc64ZeroToZero(t *testing.T) {
+	f := mustNew64(t, 64, 12, 11)
+	if f.Hash(0) != 0 {
+		t.Error("Hash(0) != 0")
+	}
+}
+
+func TestFunc64OutputMasked(t *testing.T) {
+	f := mustNew64(t, 64, 10, 2)
+	for x := uint64(0); x < 4096; x++ {
+		if h := f.Hash(x * 0x9E3779B97F4A7C15); h >= 1<<10 {
+			t.Fatalf("hash %d exceeds 10 bits", h)
+		}
+	}
+}
+
+func TestFunc64RowPanics(t *testing.T) {
+	f := mustNew64(t, 48, 14, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("Row(48) did not panic")
+		}
+	}()
+	f.Row(48)
+}
+
+func TestFamily64(t *testing.T) {
+	fam, err := NewFamily64(4, 48, 14, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.K() != 4 {
+		t.Fatalf("K = %d", fam.K())
+	}
+	// Deterministic for seed.
+	fam2, _ := NewFamily64(4, 48, 14, 77)
+	for i := 0; i < 4; i++ {
+		for x := uint64(0); x < 200; x++ {
+			if fam.Func(i).Hash(x) != fam2.Func(i).Hash(x) {
+				t.Fatal("same seed, different family")
+			}
+		}
+	}
+	if _, err := NewFamily64(0, 48, 14, 1); err == nil {
+		t.Error("NewFamily64(0) succeeded")
+	}
+	if _, err := NewFamily64(2, 0, 14, 1); err == nil {
+		t.Error("NewFamily64 with zero input width succeeded")
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	f, _ := New64(64, 14, rand.New(rand.NewSource(1)))
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink ^= f.Hash(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	_ = sink
+}

@@ -1,0 +1,34 @@
+package ht
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzChecksum checks the §4 XOR checksum invariants on arbitrary data:
+// deterministic, word-order sensitive, and corruption visible.
+func FuzzChecksum(f *testing.F) {
+	f.Add([]byte("the quick brown fox"), uint8(3))
+	f.Add([]byte{}, uint8(0))
+	f.Add(bytes.Repeat([]byte{0xAB}, 64), uint8(17))
+	f.Fuzz(func(t *testing.T, data []byte, flipAt uint8) {
+		a := Checksum(data)
+		if b := Checksum(data); a != b {
+			t.Fatal("checksum not deterministic")
+		}
+		if len(data) == 0 {
+			if a != 0 {
+				t.Fatal("empty checksum nonzero")
+			}
+			return
+		}
+		// Flipping any single bit must change the checksum: XOR of
+		// words means every input bit maps to exactly one checksum bit.
+		i := int(flipAt) % len(data)
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0x01
+		if Checksum(mutated) == a {
+			t.Fatalf("bit flip at %d invisible to checksum", i)
+		}
+	})
+}

@@ -1,0 +1,271 @@
+package ht
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Second.Seconds() != 1.0 {
+		t.Errorf("Second.Seconds() = %v", Second.Seconds())
+	}
+	if (500 * Millisecond).Seconds() != 0.5 {
+		t.Errorf("500ms = %v s", (500 * Millisecond).Seconds())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		2 * Second:      "2.000s",
+		3 * Millisecond: "3.000ms",
+		7 * Microsecond: "7.000us",
+		12 * Picosecond: "12ps",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestWords(t *testing.T) {
+	cases := []struct {
+		bytes, words int64
+	}{
+		{0, 0}, {1, 1}, {7, 1}, {8, 1}, {9, 2}, {16, 2}, {10240, 1280},
+	}
+	for _, c := range cases {
+		if got := Words(c.bytes); got != c.words {
+			t.Errorf("Words(%d) = %d, want %d", c.bytes, got, c.words)
+		}
+	}
+}
+
+func TestXD1000Config(t *testing.T) {
+	cfg := XD1000Config()
+	if cfg.PeakBytesPerSec != 1.6e9 {
+		t.Errorf("peak = %v, want 1.6e9 (§4)", cfg.PeakBytesPerSec)
+	}
+	if cfg.PracticalBytesPerSec != 500e6 {
+		t.Errorf("practical = %v, want 500e6 (§5.4)", cfg.PracticalBytesPerSec)
+	}
+	if cfg.EffectiveBandwidth() != 500e6 {
+		t.Errorf("effective = %v, want the practical cap", cfg.EffectiveBandwidth())
+	}
+}
+
+func TestImprovedConfigRemovesCap(t *testing.T) {
+	cfg := ImprovedConfig()
+	if cfg.EffectiveBandwidth() != 1.6e9 {
+		t.Errorf("improved effective = %v, want full 1.6 GB/s", cfg.EffectiveBandwidth())
+	}
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	if _, err := NewLink(LinkConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := NewLink(LinkConfig{PeakBytesPerSec: 1e9, PracticalBytesPerSec: -1}); err == nil {
+		t.Error("negative practical bandwidth accepted")
+	}
+}
+
+func TestDMATransferTiming(t *testing.T) {
+	cfg := XD1000Config()
+	cfg.DMASetupLatency = 0
+	l, err := NewLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 500 MB at 500 MB/s = 1 simulated second.
+	end := l.DMADown(0, 500_000_000)
+	if s := end.Seconds(); s < 0.99 || s > 1.01 {
+		t.Errorf("500MB transfer took %.3fs, want about 1s", s)
+	}
+}
+
+func TestDMASerializesPerDirection(t *testing.T) {
+	l, _ := NewLink(XD1000Config())
+	end1 := l.DMADown(0, 1_000_000)
+	end2 := l.DMADown(0, 1_000_000) // queued behind the first
+	if end2 <= end1 {
+		t.Errorf("second transfer finished at %v, not after first at %v", end2, end1)
+	}
+	// The uplink is independent: a result DMA starting at 0 should not
+	// wait for downlink traffic.
+	upEnd := l.DMAUp(0, 64)
+	if upEnd >= end1 {
+		t.Errorf("uplink transfer blocked behind downlink: %v >= %v", upEnd, end1)
+	}
+}
+
+func TestDMAPadsToWords(t *testing.T) {
+	cfg := XD1000Config()
+	cfg.DMASetupLatency = 0
+	l, _ := NewLink(cfg)
+	// 1 byte still moves one 8-byte word.
+	end1 := l.DMADown(0, 1)
+	l.Reset()
+	end8 := l.DMADown(0, 8)
+	if end1 != end8 {
+		t.Errorf("1-byte transfer (%v) != 8-byte transfer (%v)", end1, end8)
+	}
+}
+
+func TestPIOWriteSharesDownlink(t *testing.T) {
+	l, _ := NewLink(XD1000Config())
+	dmaEnd := l.DMADown(0, 1_000_000)
+	pioEnd := l.PIOWrite(0)
+	if pioEnd <= dmaEnd {
+		t.Errorf("PIO write at %v did not serialize behind DMA ending %v", pioEnd, dmaEnd)
+	}
+}
+
+func TestInterrupt(t *testing.T) {
+	l, _ := NewLink(XD1000Config())
+	want := 100*Microsecond + XD1000Config().InterruptLatency
+	if got := l.Interrupt(100 * Microsecond); got != want {
+		t.Errorf("interrupt resume = %v, want %v", got, want)
+	}
+}
+
+func TestLinkStatsAndReset(t *testing.T) {
+	l, _ := NewLink(XD1000Config())
+	l.DMADown(0, 100)
+	l.DMAUp(0, 50)
+	l.PIOWrite(0)
+	down, up, pio := l.Stats()
+	if down != 100 || up != 50 || pio != 1 {
+		t.Errorf("stats = %d,%d,%d want 100,50,1", down, up, pio)
+	}
+	l.Reset()
+	down, up, pio = l.Stats()
+	if down != 0 || up != 0 || pio != 0 {
+		t.Error("Reset did not clear stats")
+	}
+	if l.DMADown(0, 8) != l.Config().DMASetupLatency+l.duration(8) {
+		t.Error("Reset did not clear channel state")
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	names := map[CommandType]string{
+		CmdReset:          "Reset",
+		CmdSize:           "Size",
+		CmdEndOfDocument:  "EndOfDocument",
+		CmdQueryResult:    "QueryResult",
+		CmdProgram:        "Program",
+		CmdSelectLanguage: "SelectLanguage",
+	}
+	for cmd, want := range names {
+		if got := cmd.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", cmd, got, want)
+		}
+	}
+	if !strings.Contains(CommandType(99).String(), "99") {
+		t.Error("unknown command String not diagnostic")
+	}
+}
+
+func TestChecksumBasics(t *testing.T) {
+	if Checksum(nil) != 0 {
+		t.Error("checksum of empty data not zero")
+	}
+	// One full word XORed with itself twice returns to zero.
+	w := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	double := append(append([]byte{}, w...), w...)
+	if Checksum(double) != 0 {
+		t.Error("checksum of doubled word not zero")
+	}
+	if Checksum(w) == 0 {
+		t.Error("checksum of nonzero word is zero")
+	}
+}
+
+func TestChecksumPadding(t *testing.T) {
+	// A short tail is zero-padded: "ab" == "ab\x00..." as one word.
+	a := Checksum([]byte("ab"))
+	b := Checksum([]byte{'a', 'b', 0, 0, 0, 0, 0, 0})
+	if a != b {
+		t.Errorf("padded checksum mismatch: %#x vs %#x", a, b)
+	}
+}
+
+// Checksum is XOR-linear over concatenation of whole words.
+func TestChecksumConcatProperty(t *testing.T) {
+	prop := func(a, b []byte) bool {
+		// Pad a to a word boundary so concatenation preserves word
+		// alignment of b.
+		for len(a)%WordBytes != 0 {
+			a = append(a, 0)
+		}
+		return Checksum(append(append([]byte{}, a...), b...)) == (Checksum(a) ^ Checksum(b))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	orig := Checksum(data)
+	data[5] ^= 0x40
+	if Checksum(data) == orig {
+		t.Error("single-bit corruption not reflected in checksum")
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	w := NewWatchdog(10 * Microsecond)
+	if w.Armed() {
+		t.Error("fresh watchdog armed")
+	}
+	w.Arm(0)
+	if !w.Armed() {
+		t.Error("watchdog not armed after Arm")
+	}
+	if w.Check(5 * Microsecond) {
+		t.Error("watchdog fired early")
+	}
+	if !w.Check(10 * Microsecond) {
+		t.Error("watchdog did not fire at deadline")
+	}
+	if w.Trips != 1 {
+		t.Errorf("Trips = %d, want 1", w.Trips)
+	}
+	if w.Armed() {
+		t.Error("watchdog still armed after firing")
+	}
+	// Re-arm pushes the deadline.
+	w.Arm(20 * Microsecond)
+	w.Arm(25 * Microsecond)
+	if w.Check(31 * Microsecond) {
+		t.Error("re-arm did not extend deadline")
+	}
+	if !w.Check(35 * Microsecond) {
+		t.Error("extended deadline did not fire")
+	}
+}
+
+func TestWatchdogDisarm(t *testing.T) {
+	w := NewWatchdog(10 * Microsecond)
+	w.Arm(0)
+	w.Disarm()
+	if w.Check(time100us()) {
+		t.Error("disarmed watchdog fired")
+	}
+}
+
+func time100us() Time { return 100 * Microsecond }
+
+func TestWatchdogDisabled(t *testing.T) {
+	w := NewWatchdog(0)
+	w.Arm(0)
+	if w.Armed() {
+		t.Error("disabled watchdog armed")
+	}
+	if w.Check(Second) {
+		t.Error("disabled watchdog fired")
+	}
+}

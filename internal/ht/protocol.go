@@ -1,0 +1,125 @@
+package ht
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The host controls the classifier through commands written to mapped
+// registers, while document data arrives via DMA. "Since we use the
+// register interface to send commands to the classifier module and DMA
+// to transfer document data, they appear asynchronously (and
+// potentially out of order) in the hardware" (§4). The Size command
+// sent before each document tells the hardware how many 64-bit words to
+// expect, and subsequent commands are processed only once all expected
+// words have arrived.
+
+// CommandType enumerates the control commands of §4.
+type CommandType uint8
+
+const (
+	// CmdReset clears the classifier state machine and bit-vectors.
+	CmdReset CommandType = iota
+	// CmdSize announces the number of 64-bit words of the next document.
+	CmdSize
+	// CmdEndOfDocument delimits a document; match counters are folded
+	// through the adder tree when it is processed.
+	CmdEndOfDocument
+	// CmdQueryResult asks the hardware to DMA the match counters, the
+	// XOR data checksum and status bits back to the host.
+	CmdQueryResult
+	// CmdProgram programs one n-gram into one language's Bloom filter
+	// during the preprocessing step.
+	CmdProgram
+	// CmdSelectLanguage selects the language index targeted by
+	// subsequent CmdProgram commands.
+	CmdSelectLanguage
+)
+
+// String names the command for diagnostics.
+func (t CommandType) String() string {
+	switch t {
+	case CmdReset:
+		return "Reset"
+	case CmdSize:
+		return "Size"
+	case CmdEndOfDocument:
+		return "EndOfDocument"
+	case CmdQueryResult:
+		return "QueryResult"
+	case CmdProgram:
+		return "Program"
+	case CmdSelectLanguage:
+		return "SelectLanguage"
+	}
+	return fmt.Sprintf("Command(%d)", uint8(t))
+}
+
+// Command is one register write: a type and a 56-bit argument (the
+// paper's commands fit a single 64-bit register word).
+type Command struct {
+	Type CommandType
+	Arg  uint64
+}
+
+// Checksum computes the XOR data checksum the hardware returns with
+// each Query Result to verify a valid document transfer (§4): the XOR
+// of all 64-bit little-endian words, with a short final word
+// zero-padded.
+func Checksum(data []byte) uint64 {
+	var sum uint64
+	for len(data) >= WordBytes {
+		sum ^= binary.LittleEndian.Uint64(data)
+		data = data[WordBytes:]
+	}
+	if len(data) > 0 {
+		var last [WordBytes]byte
+		copy(last[:], data)
+		sum ^= binary.LittleEndian.Uint64(last[:])
+	}
+	return sum
+}
+
+// Watchdog models the hardware watchdog timer that resets the state
+// machine if a transfer stalls (§4: "We provide a watchdog timer to
+// reset the state machine in case of an error").
+type Watchdog struct {
+	timeout  Time
+	deadline Time
+	armed    bool
+	// Trips counts how many times the watchdog fired.
+	Trips int
+}
+
+// NewWatchdog returns a watchdog with the given timeout. A zero or
+// negative timeout disables it.
+func NewWatchdog(timeout Time) *Watchdog {
+	return &Watchdog{timeout: timeout}
+}
+
+// Arm starts (or restarts) the countdown at the given time. Arming a
+// disabled watchdog is a no-op.
+func (w *Watchdog) Arm(now Time) {
+	if w.timeout <= 0 {
+		return
+	}
+	w.armed = true
+	w.deadline = now + w.timeout
+}
+
+// Disarm stops the countdown (expected words all arrived).
+func (w *Watchdog) Disarm() { w.armed = false }
+
+// Check reports whether the watchdog has expired at the given time, and
+// if so records the trip and disarms.
+func (w *Watchdog) Check(now Time) bool {
+	if !w.armed || now < w.deadline {
+		return false
+	}
+	w.armed = false
+	w.Trips++
+	return true
+}
+
+// Armed reports whether the countdown is running.
+func (w *Watchdog) Armed() bool { return w.armed }

@@ -1,0 +1,296 @@
+// Package ngram implements n-gram extraction, counting, and language
+// profile construction for the Bloom-filter language classifier.
+//
+// An n-gram is a sequence of exactly n characters; n-grams are extracted
+// from a document by a sliding window that shifts one character at a
+// time (paper §1). After alphabet conversion each character is a 5-bit
+// code, so a 4-gram packs into 20 bits and is carried as a uint32
+// throughout the pipeline — the same word the hardware datapath carries.
+//
+// A language profile is the t most frequently occurring n-grams in a
+// training set (t = 5,000 in the paper's implementation, §4), which the
+// HAIL authors found produces over 99% classifier accuracy.
+package ngram
+
+import (
+	"fmt"
+	"sort"
+
+	"bloomlang/internal/alphabet"
+)
+
+// DefaultN is the n-gram length used by the paper's implementation (§4).
+const DefaultN = 4
+
+// DefaultProfileSize is the paper's t: the number of most-frequent
+// n-grams kept in a language profile (§4).
+const DefaultProfileSize = 5000
+
+// Bits returns the packed width of an n-gram of length n: n characters
+// of alphabet.Bits bits each.
+func Bits(n int) uint { return uint(n) * alphabet.Bits }
+
+// MaxN is the largest n-gram length that still packs into a uint32.
+const MaxN = 32 / alphabet.Bits // 6
+
+// Pack packs up to MaxN codes into a single word, first code in the most
+// significant position, mirroring the hardware shift register that
+// assembles n-grams from the translated character stream.
+func Pack(codes []alphabet.Code) uint32 {
+	if len(codes) > MaxN {
+		panic(fmt.Sprintf("ngram: cannot pack %d codes into 32 bits", len(codes)))
+	}
+	var g uint32
+	for _, c := range codes {
+		g = g<<alphabet.Bits | uint32(c)
+	}
+	return g
+}
+
+// Unpack splits a packed n-gram back into its n codes.
+func Unpack(g uint32, n int) []alphabet.Code {
+	codes := make([]alphabet.Code, n)
+	for i := n - 1; i >= 0; i-- {
+		codes[i] = alphabet.Code(g & (1<<alphabet.Bits - 1))
+		g >>= alphabet.Bits
+	}
+	return codes
+}
+
+// Render returns the human-readable form of a packed n-gram, e.g.
+// "TION" or "E TH".
+func Render(g uint32, n int) string {
+	codes := Unpack(g, n)
+	b := make([]byte, n)
+	for i, c := range codes {
+		b[i] = c.Byte()
+	}
+	return string(b)
+}
+
+// Extractor produces the stream of packed n-grams for a document. It is
+// a software rendering of the hardware's character buffer: an input word
+// containing multiple translated characters is buffered and an n-gram is
+// generated at each character position (§3.3). The implementation is
+// oblivious to word boundaries and treats the input as a continuous
+// character stream, exactly like the hardware.
+type Extractor struct {
+	n      int
+	mask   uint32
+	window uint32
+	filled int
+	// Subsample, when s > 1, emits only every s-th n-gram, the
+	// bandwidth-reduction technique HAIL uses and §3.3 mentions as an
+	// option when on-chip memory bandwidth is limited.
+	subsample int
+	phase     int
+}
+
+// NewExtractor returns an extractor for n-grams of length n (1..MaxN).
+func NewExtractor(n int) (*Extractor, error) {
+	if n < 1 || n > MaxN {
+		return nil, fmt.Errorf("ngram: length %d out of range [1,%d]", n, MaxN)
+	}
+	return &Extractor{
+		n:         n,
+		mask:      uint32(uint64(1)<<Bits(n) - 1),
+		subsample: 1,
+	}, nil
+}
+
+// SetSubsample makes the extractor emit every s-th n-gram (s >= 1).
+func (e *Extractor) SetSubsample(s int) error {
+	if s < 1 {
+		return fmt.Errorf("ngram: subsample factor %d must be >= 1", s)
+	}
+	e.subsample = s
+	return nil
+}
+
+// N returns the configured n-gram length.
+func (e *Extractor) N() int { return e.n }
+
+// Reset clears the sliding window, ready for a new document. The
+// hardware equivalent is the End-of-Document command clearing the
+// character buffer.
+func (e *Extractor) Reset() {
+	e.window = 0
+	e.filled = 0
+	e.phase = 0
+}
+
+// Feed shifts the translated codes into the window and appends every
+// complete n-gram to dst, returning the extended slice. A document of d
+// characters yields exactly max(0, d-n+1) n-grams (before subsampling).
+func (e *Extractor) Feed(dst []uint32, codes []alphabet.Code) []uint32 {
+	for _, c := range codes {
+		e.window = (e.window<<alphabet.Bits | uint32(c)) & e.mask
+		if e.filled < e.n-1 {
+			e.filled++
+			continue
+		}
+		if e.phase == 0 {
+			dst = append(dst, e.window)
+		}
+		e.phase++
+		if e.phase == e.subsample {
+			e.phase = 0
+		}
+	}
+	return dst
+}
+
+// ExtractBytes translates raw ISO-8859-1 bytes and returns all packed
+// n-grams of length n, the convenience path used by training and by the
+// software classifier.
+func ExtractBytes(text []byte, n int) ([]uint32, error) {
+	e, err := NewExtractor(n)
+	if err != nil {
+		return nil, err
+	}
+	codes := alphabet.TranslateAll(text)
+	return e.Feed(make([]uint32, 0, maxInt(0, len(text)-n+1)), codes), nil
+}
+
+// Count returns the number of n-grams a document of length d characters
+// produces: the sliding window emits one n-gram per position.
+func Count(d, n int) int { return maxInt(0, d-n+1) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Counter accumulates n-gram frequencies for profile construction. For
+// n <= 4 the key space (2^20) is small enough for a flat table, which is
+// what the preprocessing step uses; larger n falls back to a map.
+type Counter struct {
+	n     int
+	flat  []uint64 // used when Bits(n) <= flatBits
+	m     map[uint32]uint64
+	total uint64
+}
+
+const flatBits = 20
+
+// NewCounter returns a Counter for n-grams of length n.
+func NewCounter(n int) (*Counter, error) {
+	if n < 1 || n > MaxN {
+		return nil, fmt.Errorf("ngram: length %d out of range [1,%d]", n, MaxN)
+	}
+	c := &Counter{n: n}
+	if Bits(n) <= flatBits {
+		c.flat = make([]uint64, 1<<Bits(n))
+	} else {
+		c.m = make(map[uint32]uint64)
+	}
+	return c, nil
+}
+
+// Add increments the count of g.
+func (c *Counter) Add(g uint32) {
+	if c.flat != nil {
+		c.flat[g]++
+	} else {
+		c.m[g]++
+	}
+	c.total++
+}
+
+// AddAll increments the count of every n-gram in gs.
+func (c *Counter) AddAll(gs []uint32) {
+	if c.flat != nil {
+		for _, g := range gs {
+			c.flat[g]++
+		}
+	} else {
+		for _, g := range gs {
+			c.m[g]++
+		}
+	}
+	c.total += uint64(len(gs))
+}
+
+// AddText extracts n-grams from raw text and accumulates them.
+func (c *Counter) AddText(text []byte) error {
+	gs, err := ExtractBytes(text, c.n)
+	if err != nil {
+		return err
+	}
+	c.AddAll(gs)
+	return nil
+}
+
+// Total returns the number of n-grams accumulated.
+func (c *Counter) Total() uint64 { return c.total }
+
+// Get returns the count of g.
+func (c *Counter) Get(g uint32) uint64 {
+	if c.flat != nil {
+		return c.flat[g]
+	}
+	return c.m[g]
+}
+
+// Distinct returns the number of distinct n-grams seen.
+func (c *Counter) Distinct() int {
+	if c.flat != nil {
+		d := 0
+		for _, v := range c.flat {
+			if v > 0 {
+				d++
+			}
+		}
+		return d
+	}
+	return len(c.m)
+}
+
+// Entry is an n-gram with its frequency, used when ranking.
+type Entry struct {
+	Gram  uint32
+	Count uint64
+}
+
+// Top returns the t most frequent n-grams in descending count order.
+// Ties break on the packed n-gram value so results are deterministic.
+// If fewer than t distinct n-grams were seen, all of them are returned.
+func (c *Counter) Top(t int) []Entry {
+	if t < 0 {
+		t = 0
+	}
+	entries := make([]Entry, 0, minInt(t, 1<<16))
+	appendEntry := func(g uint32, v uint64) {
+		entries = append(entries, Entry{Gram: g, Count: v})
+	}
+	if c.flat != nil {
+		for g, v := range c.flat {
+			if v > 0 {
+				appendEntry(uint32(g), v)
+			}
+		}
+	} else {
+		for g, v := range c.m {
+			appendEntry(g, v)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Gram < entries[j].Gram
+	})
+	if len(entries) > t {
+		entries = entries[:t]
+	}
+	return entries
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,310 @@
+package ngram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bloomlang/internal/alphabet"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	prop := func(raw [4]uint8) bool {
+		codes := make([]alphabet.Code, 4)
+		for i, r := range raw {
+			codes[i] = alphabet.Code(r % 27)
+		}
+		got := Unpack(Pack(codes), 4)
+		for i := range codes {
+			if got[i] != codes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackOrdering(t *testing.T) {
+	// "AB" must pack with A in the high bits: A=1, B=2 -> 1<<5 | 2.
+	g := Pack([]alphabet.Code{1, 2})
+	if g != 1<<5|2 {
+		t.Errorf("Pack(A,B) = %#x, want %#x", g, 1<<5|2)
+	}
+}
+
+func TestPackPanicsOnTooMany(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pack of 7 codes did not panic")
+		}
+	}()
+	Pack(make([]alphabet.Code, 7))
+}
+
+func TestRender(t *testing.T) {
+	gs, err := ExtractBytes([]byte("tion"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 {
+		t.Fatalf("got %d n-grams, want 1", len(gs))
+	}
+	if got := Render(gs[0], 4); got != "TION" {
+		t.Errorf("Render = %q, want TION", got)
+	}
+}
+
+func TestExtractorCount(t *testing.T) {
+	for _, c := range []struct {
+		text string
+		n    int
+		want int
+	}{
+		{"", 4, 0},
+		{"abc", 4, 0},
+		{"abcd", 4, 1},
+		{"abcde", 4, 2},
+		{"hello world", 4, 8},
+		{"ab", 2, 1},
+		{"a", 1, 1},
+	} {
+		gs, err := ExtractBytes([]byte(c.text), c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gs) != c.want {
+			t.Errorf("ExtractBytes(%q, %d) produced %d n-grams, want %d", c.text, c.n, len(gs), c.want)
+		}
+		if got := Count(len(c.text), c.n); got != c.want {
+			t.Errorf("Count(%d, %d) = %d, want %d", len(c.text), c.n, got, c.want)
+		}
+	}
+}
+
+func TestExtractorSlidesOneCharacter(t *testing.T) {
+	gs, err := ExtractBytes([]byte("abcdef"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ABCD", "BCDE", "CDEF"}
+	if len(gs) != len(want) {
+		t.Fatalf("got %d n-grams, want %d", len(gs), len(want))
+	}
+	for i, w := range want {
+		if got := Render(gs[i], 4); got != w {
+			t.Errorf("n-gram %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestExtractorIgnoresWordBoundaries(t *testing.T) {
+	// §3.3: "Our implementation is currently oblivious to word boundaries
+	// and simply treats the input as a continuous stream of characters."
+	gs, err := ExtractBytes([]byte("a b"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 0 {
+		t.Fatalf("3-char input must give 0 4-grams, got %d", len(gs))
+	}
+	gs, _ = ExtractBytes([]byte("a bc"), 4)
+	if len(gs) != 1 || Render(gs[0], 4) != "A BC" {
+		t.Fatalf("expected single n-gram \"A BC\" spanning the space, got %v", gs)
+	}
+}
+
+func TestExtractorIncrementalFeedMatchesWhole(t *testing.T) {
+	text := []byte("the quick brown fox jumps over the lazy dog")
+	whole, err := ExtractBytes(text, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewExtractor(4)
+	var inc []uint32
+	codes := alphabet.TranslateAll(text)
+	// Feed in unequal chunks: 1, 2, 3, ... characters at a time.
+	for i, step := 0, 1; i < len(codes); step++ {
+		end := i + step
+		if end > len(codes) {
+			end = len(codes)
+		}
+		inc = e.Feed(inc, codes[i:end])
+		i = end
+	}
+	if len(inc) != len(whole) {
+		t.Fatalf("incremental feed produced %d n-grams, whole produced %d", len(inc), len(whole))
+	}
+	for i := range inc {
+		if inc[i] != whole[i] {
+			t.Errorf("n-gram %d differs: %#x vs %#x", i, inc[i], whole[i])
+		}
+	}
+}
+
+func TestExtractorReset(t *testing.T) {
+	e, _ := NewExtractor(4)
+	codes := alphabet.TranslateAll([]byte("abcdef"))
+	first := e.Feed(nil, codes)
+	e.Reset()
+	second := e.Feed(nil, codes)
+	if len(first) != len(second) {
+		t.Fatalf("after Reset, feed produced %d n-grams, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("n-gram %d differs after Reset", i)
+		}
+	}
+}
+
+func TestExtractorNoResetCarriesWindow(t *testing.T) {
+	e, _ := NewExtractor(4)
+	a := e.Feed(nil, alphabet.TranslateAll([]byte("ab")))
+	b := e.Feed(nil, alphabet.TranslateAll([]byte("cd")))
+	if len(a) != 0 {
+		t.Fatalf("first partial feed must emit nothing, got %d", len(a))
+	}
+	if len(b) != 1 || Render(b[0], 4) != "ABCD" {
+		t.Fatalf("window must span feeds without Reset; got %d grams", len(b))
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	e, _ := NewExtractor(4)
+	if err := e.SetSubsample(2); err != nil {
+		t.Fatal(err)
+	}
+	codes := alphabet.TranslateAll([]byte("abcdefgh")) // 5 4-grams
+	gs := e.Feed(nil, codes)
+	// Positions 0,2,4 survive a 1-in-2 subsample.
+	want := []string{"ABCD", "CDEF", "EFGH"}
+	if len(gs) != len(want) {
+		t.Fatalf("subsampled count = %d, want %d", len(gs), len(want))
+	}
+	for i, w := range want {
+		if got := Render(gs[i], 4); got != w {
+			t.Errorf("subsampled n-gram %d = %q, want %q", i, got, w)
+		}
+	}
+	if err := e.SetSubsample(0); err == nil {
+		t.Error("SetSubsample(0) succeeded, want error")
+	}
+}
+
+func TestNewExtractorValidation(t *testing.T) {
+	if _, err := NewExtractor(0); err == nil {
+		t.Error("NewExtractor(0) succeeded")
+	}
+	if _, err := NewExtractor(MaxN + 1); err == nil {
+		t.Errorf("NewExtractor(%d) succeeded", MaxN+1)
+	}
+	if _, err := NewExtractor(MaxN); err != nil {
+		t.Errorf("NewExtractor(%d): %v", MaxN, err)
+	}
+}
+
+func TestCounterFlatAndMapAgree(t *testing.T) {
+	// n=4 uses the flat table, n=5 the map; both must count identically.
+	text := []byte("the theme of the thesis is the theory of the the")
+	for _, n := range []int{4, 5} {
+		c, err := NewCounter(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddText(text); err != nil {
+			t.Fatal(err)
+		}
+		gs, _ := ExtractBytes(text, n)
+		if c.Total() != uint64(len(gs)) {
+			t.Errorf("n=%d: Total = %d, want %d", n, c.Total(), len(gs))
+		}
+		// Recount by brute force.
+		ref := map[uint32]uint64{}
+		for _, g := range gs {
+			ref[g]++
+		}
+		for g, want := range ref {
+			if got := c.Get(g); got != want {
+				t.Errorf("n=%d: Get(%#x) = %d, want %d", n, g, got, want)
+			}
+		}
+		if c.Distinct() != len(ref) {
+			t.Errorf("n=%d: Distinct = %d, want %d", n, c.Distinct(), len(ref))
+		}
+	}
+}
+
+func TestCounterTopOrdering(t *testing.T) {
+	c, _ := NewCounter(4)
+	// "aaaa" appears 3 times (sliding), "bbbb" 1, via carefully built text.
+	c.AddText([]byte("aaaaaa")) // AAAA x3
+	c.AddText([]byte("bbbb"))   // BBBB x1
+	top := c.Top(10)
+	if len(top) != 2 {
+		t.Fatalf("Top returned %d entries, want 2", len(top))
+	}
+	if Render(top[0].Gram, 4) != "AAAA" || top[0].Count != 3 {
+		t.Errorf("top[0] = %q x%d, want AAAA x3", Render(top[0].Gram, 4), top[0].Count)
+	}
+	if Render(top[1].Gram, 4) != "BBBB" || top[1].Count != 1 {
+		t.Errorf("top[1] = %q x%d, want BBBB x1", Render(top[1].Gram, 4), top[1].Count)
+	}
+}
+
+func TestCounterTopTruncatesAndTieBreaks(t *testing.T) {
+	c, _ := NewCounter(4)
+	c.AddText([]byte("abcd"))
+	c.AddText([]byte("bcde"))
+	c.AddText([]byte("cdef"))
+	top := c.Top(2)
+	if len(top) != 2 {
+		t.Fatalf("Top(2) returned %d entries", len(top))
+	}
+	// All counts equal 1; ties break on ascending packed value, and
+	// ABCD < BCDE numerically because A<B in the code space.
+	if Render(top[0].Gram, 4) != "ABCD" {
+		t.Errorf("tie-break order wrong: top[0] = %q", Render(top[0].Gram, 4))
+	}
+	if got := c.Top(0); len(got) != 0 {
+		t.Errorf("Top(0) returned %d entries", len(got))
+	}
+	if got := c.Top(-1); len(got) != 0 {
+		t.Errorf("Top(-1) returned %d entries", len(got))
+	}
+}
+
+func TestCounterAddMatchesAddAll(t *testing.T) {
+	a, _ := NewCounter(4)
+	b, _ := NewCounter(4)
+	gs, _ := ExtractBytes([]byte("counting n-grams one at a time"), 4)
+	for _, g := range gs {
+		a.Add(g)
+	}
+	b.AddAll(gs)
+	if a.Total() != b.Total() {
+		t.Fatalf("totals differ: %d vs %d", a.Total(), b.Total())
+	}
+	for _, g := range gs {
+		if a.Get(g) != b.Get(g) {
+			t.Errorf("counts differ for %#x", g)
+		}
+	}
+}
+
+func BenchmarkExtract64KiB(b *testing.B) {
+	text := make([]byte, 64*1024)
+	for i := range text {
+		text[i] = byte('a' + i%26)
+	}
+	codes := alphabet.TranslateAll(text)
+	e, _ := NewExtractor(4)
+	dst := make([]uint32, 0, len(text))
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		dst = e.Feed(dst[:0], codes)
+	}
+}

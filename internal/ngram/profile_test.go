@@ -1,0 +1,159 @@
+package ngram
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleProfile(t *testing.T) *Profile {
+	t.Helper()
+	texts := [][]byte{
+		[]byte("the quick brown fox jumps over the lazy dog"),
+		[]byte("pack my box with five dozen liquor jugs"),
+		[]byte("the five boxing wizards jump quickly"),
+	}
+	p, err := ProfileFromTexts("en", texts, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProfileFromTexts(t *testing.T) {
+	p := sampleProfile(t)
+	if p.Language != "en" || p.N != 4 {
+		t.Fatalf("profile metadata wrong: %+v", p)
+	}
+	if p.Size() == 0 {
+		t.Fatal("profile is empty")
+	}
+	// " THE" must be among the very top: it appears in two documents.
+	gs, _ := ExtractBytes([]byte(" the"), 4)
+	if !p.Contains(gs[0]) {
+		t.Error("profile missing \" THE\"")
+	}
+}
+
+func TestProfileTopTCap(t *testing.T) {
+	texts := [][]byte{[]byte(strings.Repeat("abcdefghijklmnopqrstuvwxyz ", 20))}
+	p, err := ProfileFromTexts("xx", texts, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 5 {
+		t.Errorf("profile size = %d, want capped at 5", p.Size())
+	}
+}
+
+func TestProfileSetMatchesContains(t *testing.T) {
+	p := sampleProfile(t)
+	set := p.Set()
+	if len(set) != p.Size() {
+		t.Fatalf("set size %d != profile size %d (duplicate grams?)", len(set), p.Size())
+	}
+	for g := range set {
+		if !p.Contains(g) {
+			t.Errorf("Contains(%#x) = false for set member", g)
+		}
+	}
+}
+
+func TestProfileOverlap(t *testing.T) {
+	p := sampleProfile(t)
+	if got := p.Overlap(p); got != p.Size() {
+		t.Errorf("self-overlap = %d, want %d", got, p.Size())
+	}
+	q, err := ProfileFromTexts("xx", [][]byte{[]byte("zzzz qqqq zzzz qqqq")}, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Overlap(q); got != 0 {
+		t.Errorf("overlap with disjoint profile = %d, want 0", got)
+	}
+}
+
+func TestProfileSerializationRoundTrip(t *testing.T) {
+	p := sampleProfile(t)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Language != p.Language || q.N != p.N || len(q.Grams) != len(p.Grams) {
+		t.Fatalf("round trip changed metadata: %+v vs %+v", q, p)
+	}
+	for i := range p.Grams {
+		if q.Grams[i] != p.Grams[i] {
+			t.Errorf("gram %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadProfileRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("XXXX\x01\x04\x00\x00\x00\x00\x00\x00"),
+		"truncated": []byte("NGPF\x01"),
+	}
+	for name, data := range cases {
+		if _, err := ReadProfile(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadProfile succeeded, want error", name)
+		}
+	}
+}
+
+func TestReadProfileRejectsBadVersion(t *testing.T) {
+	p := sampleProfile(t)
+	var buf bytes.Buffer
+	p.WriteTo(&buf)
+	data := buf.Bytes()
+	data[4] = 99 // version byte
+	if _, err := ReadProfile(bytes.NewReader(data)); err == nil {
+		t.Error("ReadProfile accepted bad version")
+	}
+}
+
+func TestReadProfileRejectsOverwideGram(t *testing.T) {
+	p := &Profile{Language: "xx", N: 2, Grams: []uint32{1 << 20}} // 2-gram is 10 bits
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfile(&buf); err == nil {
+		t.Error("ReadProfile accepted gram wider than packing")
+	}
+}
+
+func TestSortProfilesByLanguage(t *testing.T) {
+	ps := []*Profile{
+		{Language: "sv"}, {Language: "cs"}, {Language: "en"},
+	}
+	SortProfilesByLanguage(ps)
+	want := []string{"cs", "en", "sv"}
+	for i, w := range want {
+		if ps[i].Language != w {
+			t.Errorf("position %d = %q, want %q", i, ps[i].Language, w)
+		}
+	}
+}
+
+func TestBuildProfileDeterministic(t *testing.T) {
+	mk := func() *Profile {
+		c, _ := NewCounter(4)
+		c.AddText([]byte("determinism is a property worth testing for always"))
+		return BuildProfile("en", c, 10)
+	}
+	a, b := mk(), mk()
+	if len(a.Grams) != len(b.Grams) {
+		t.Fatal("profile sizes differ across identical builds")
+	}
+	for i := range a.Grams {
+		if a.Grams[i] != b.Grams[i] {
+			t.Errorf("gram %d differs across identical builds", i)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package xd1000
+
+import (
+	"testing"
+
+	"bloomlang/internal/ht"
+)
+
+func TestFaultInjectionCorruption(t *testing.T) {
+	corp, _ := setup(t)
+	docs := corp.TestDocuments("en")[:8]
+	s := newSystem(t, Options{Faults: FaultConfig{CorruptEveryN: 4}})
+	s.Program()
+	rep, err := s.Stream(docs, ModeAsync, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Documents 4 and 8 were corrupted in flight: exactly two checksum
+	// failures, detected by the host from the returned XOR checksum.
+	if rep.ChecksumFailures != 2 {
+		t.Errorf("ChecksumFailures = %d, want 2", rep.ChecksumFailures)
+	}
+	// The uncorrupted documents still verify and classify.
+	okCount := 0
+	for _, dr := range rep.Results {
+		if dr.ChecksumOK {
+			okCount++
+		}
+	}
+	if okCount != 6 {
+		t.Errorf("%d clean documents, want 6", okCount)
+	}
+	if rep.WatchdogTrips != 0 {
+		t.Errorf("corruption tripped the watchdog %d times", rep.WatchdogTrips)
+	}
+}
+
+func TestFaultInjectionSingleByteDoesNotFlipLanguage(t *testing.T) {
+	// One flipped byte changes at most n window positions of n-grams;
+	// classification is robust even though the checksum catches it.
+	corp, _ := setup(t)
+	docs := corp.TestDocuments("fi")[:4]
+	s := newSystem(t, Options{Faults: FaultConfig{CorruptEveryN: 1}})
+	s.Program()
+	rep, err := s.Stream(docs, ModeAsync, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChecksumFailures != 4 {
+		t.Errorf("ChecksumFailures = %d, want 4", rep.ChecksumFailures)
+	}
+	if rep.Accuracy() < 1.0 {
+		t.Errorf("single-byte corruption flipped a classification: accuracy %.2f", rep.Accuracy())
+	}
+}
+
+func TestFaultInjectionStall(t *testing.T) {
+	corp, _ := setup(t)
+	docs := corp.TestDocuments("es")[:6]
+	s := newSystem(t, Options{
+		WatchdogTimeout: 50 * ht.Microsecond,
+		Faults:          FaultConfig{StallEveryN: 3},
+	})
+	s.Program()
+	rep, err := s.Stream(docs, ModeAsync, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries != 2 {
+		t.Errorf("Retries = %d, want 2 (docs 3 and 6)", rep.Retries)
+	}
+	if rep.WatchdogTrips != 2 {
+		t.Errorf("WatchdogTrips = %d, want 2", rep.WatchdogTrips)
+	}
+	// Every document ultimately classifies with a valid checksum: the
+	// retry path recovers completely.
+	if rep.ChecksumFailures != 0 {
+		t.Errorf("%d checksum failures after recovery", rep.ChecksumFailures)
+	}
+	if rep.Accuracy() < 0.8 {
+		t.Errorf("post-recovery accuracy %.2f", rep.Accuracy())
+	}
+	// Stalls cost simulated time: the run must be slower than a clean
+	// one over the same documents.
+	clean := newSystem(t, Options{WatchdogTimeout: 50 * ht.Microsecond})
+	clean.Program()
+	cleanRep, err := clean.Stream(docs, ModeAsync, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SimTime <= cleanRep.SimTime {
+		t.Errorf("faulty run (%v) not slower than clean run (%v)", rep.SimTime, cleanRep.SimTime)
+	}
+}
+
+func TestFaultInjectionBothModes(t *testing.T) {
+	corp, _ := setup(t)
+	docs := corp.TestDocuments("da")[:4]
+	for _, mode := range []Mode{ModeSync, ModeAsync} {
+		s := newSystem(t, Options{
+			WatchdogTimeout: 50 * ht.Microsecond,
+			Faults:          FaultConfig{CorruptEveryN: 2, StallEveryN: 3},
+		})
+		s.Program()
+		rep, err := s.Stream(docs, mode, false)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if rep.ChecksumFailures != 2 {
+			t.Errorf("%v: ChecksumFailures = %d, want 2", mode, rep.ChecksumFailures)
+		}
+		if rep.Retries != 1 {
+			t.Errorf("%v: Retries = %d, want 1", mode, rep.Retries)
+		}
+	}
+}

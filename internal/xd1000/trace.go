@@ -1,0 +1,113 @@
+package xd1000
+
+import (
+	"fmt"
+	"io"
+
+	"bloomlang/internal/ht"
+)
+
+// TraceKind labels a simulated event.
+type TraceKind int
+
+// Trace event kinds, covering the §4 protocol and §5.4 driver actions.
+const (
+	TracePIO TraceKind = iota
+	TraceDMADown
+	TraceDMAUp
+	TraceCommand
+	TraceDataDelivered
+	TraceFold
+	TraceInterrupt
+	TraceWatchdog
+	TraceRetry
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TracePIO:
+		return "pio"
+	case TraceDMADown:
+		return "dma-down"
+	case TraceDMAUp:
+		return "dma-up"
+	case TraceCommand:
+		return "command"
+	case TraceDataDelivered:
+		return "data"
+	case TraceFold:
+		return "fold"
+	case TraceInterrupt:
+		return "interrupt"
+	case TraceWatchdog:
+		return "watchdog"
+	case TraceRetry:
+		return "retry"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// TraceEvent is one timeline entry.
+type TraceEvent struct {
+	// At is the simulated completion time of the event.
+	At ht.Time
+	// Kind labels the event.
+	Kind TraceKind
+	// Detail is a short human-readable description.
+	Detail string
+}
+
+// Trace collects a bounded timeline of simulated events. A nil *Trace
+// is valid and records nothing, so tracing costs nothing when off.
+type Trace struct {
+	// Max bounds the number of retained events (0 = unbounded).
+	Max    int
+	events []TraceEvent
+	// Dropped counts events discarded after Max was reached.
+	Dropped int
+}
+
+// NewTrace returns a trace retaining at most max events.
+func NewTrace(max int) *Trace { return &Trace{Max: max} }
+
+// add records an event.
+func (t *Trace) add(at ht.Time, kind TraceKind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	if t.Max > 0 && len(t.events) >= t.Max {
+		t.Dropped++
+		return
+	}
+	t.events = append(t.events, TraceEvent{At: at, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the recorded timeline.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// WriteTo renders the timeline, one event per line.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	if t == nil {
+		return 0, nil
+	}
+	var total int64
+	for _, e := range t.events {
+		n, err := fmt.Fprintf(w, "%12s  %-9s  %s\n", e.At, e.Kind, e.Detail)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	if t.Dropped > 0 {
+		n, err := fmt.Fprintf(w, "(%d further events dropped)\n", t.Dropped)
+		total += int64(n)
+		return total, err
+	}
+	return total, nil
+}

@@ -1,0 +1,150 @@
+package xd1000
+
+import (
+	"strings"
+	"testing"
+
+	"bloomlang/internal/ht"
+)
+
+func TestTraceRecordsTimeline(t *testing.T) {
+	corp, _ := setup(t)
+	tr := NewTrace(10000)
+	s := newSystem(t, Options{Trace: tr})
+	s.Program()
+	docs := corp.TestDocuments("en")[:3]
+	if _, err := s.Stream(docs, ModeAsync, false); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	// Time must be monotone non-decreasing... per event source it is;
+	// the async fold/up events interleave with the next descriptor, so
+	// only require the first and last to be ordered and all non-negative.
+	for i, e := range events {
+		if e.At < 0 {
+			t.Fatalf("event %d has negative time", i)
+		}
+	}
+	kinds := map[TraceKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	if kinds[TraceDMADown] != 3 {
+		t.Errorf("dma-down events = %d, want 3", kinds[TraceDMADown])
+	}
+	if kinds[TraceFold] != 3 {
+		t.Errorf("fold events = %d, want 3", kinds[TraceFold])
+	}
+	if kinds[TraceDMAUp] != 3 {
+		t.Errorf("dma-up events = %d, want 3", kinds[TraceDMAUp])
+	}
+	// Programming left one command event per language plus the reset.
+	if kinds[TraceCommand] != 11 {
+		t.Errorf("command events = %d, want 11", kinds[TraceCommand])
+	}
+}
+
+func TestTraceSyncIncludesInterrupts(t *testing.T) {
+	corp, _ := setup(t)
+	tr := NewTrace(0)
+	s := newSystem(t, Options{Trace: tr})
+	s.Program()
+	if _, err := s.Stream(corp.TestDocuments("fi")[:2], ModeSync, false); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range tr.Events() {
+		if e.Kind == TraceInterrupt {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("interrupt events = %d, want 2 (one per document)", n)
+	}
+}
+
+func TestTraceFaultEvents(t *testing.T) {
+	corp, _ := setup(t)
+	tr := NewTrace(0)
+	s := newSystem(t, Options{
+		Trace:           tr,
+		WatchdogTimeout: 50 * ht.Microsecond,
+		Faults:          FaultConfig{StallEveryN: 2},
+	})
+	s.Program()
+	if _, err := s.Stream(corp.TestDocuments("es")[:4], ModeAsync, false); err != nil {
+		t.Fatal(err)
+	}
+	var watchdogs, retries int
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case TraceWatchdog:
+			watchdogs++
+		case TraceRetry:
+			retries++
+		}
+	}
+	if watchdogs != 2 || retries != 2 {
+		t.Errorf("watchdog/retry events = %d/%d, want 2/2", watchdogs, retries)
+	}
+}
+
+func TestTraceBounded(t *testing.T) {
+	tr := NewTrace(2)
+	tr.add(0, TracePIO, "one")
+	tr.add(1, TracePIO, "two")
+	tr.add(2, TracePIO, "three")
+	if len(tr.Events()) != 2 {
+		t.Errorf("retained %d events, want 2", len(tr.Events()))
+	}
+	if tr.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", tr.Dropped)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.add(0, TracePIO, "ignored")
+	if tr.Events() != nil {
+		t.Error("nil trace returned events")
+	}
+	if n, err := tr.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Error("nil trace wrote output")
+	}
+}
+
+func TestTraceWriteTo(t *testing.T) {
+	tr := NewTrace(1)
+	tr.add(5*ht.Microsecond, TraceDMADown, "100 bytes")
+	tr.add(6*ht.Microsecond, TracePIO, "dropped")
+	var b strings.Builder
+	if _, err := tr.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "dma-down") || !strings.Contains(out, "100 bytes") {
+		t.Errorf("timeline missing event: %q", out)
+	}
+	if !strings.Contains(out, "1 further events dropped") {
+		t.Errorf("timeline missing drop count: %q", out)
+	}
+}
+
+func TestTraceKindNames(t *testing.T) {
+	names := map[TraceKind]string{
+		TracePIO: "pio", TraceDMADown: "dma-down", TraceDMAUp: "dma-up",
+		TraceCommand: "command", TraceDataDelivered: "data", TraceFold: "fold",
+		TraceInterrupt: "interrupt", TraceWatchdog: "watchdog", TraceRetry: "retry",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(TraceKind(99).String(), "99") {
+		t.Error("unknown kind not diagnostic")
+	}
+}

@@ -1,0 +1,68 @@
+package bloomlang
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"bloomlang/internal/core"
+	"bloomlang/internal/ngram"
+)
+
+// SaveProfiles serializes a trained profile set as a stream of
+// profiles in the compact binary format of internal/ngram. Only the
+// profiles travel; filter parameters (k, m) are chosen at load time,
+// mirroring the hardware where the same profile data programs any
+// filter shape.
+func SaveProfiles(w io.Writer, ps *ProfileSet) error {
+	for _, p := range ps.Profiles {
+		if _, err := p.WriteTo(w); err != nil {
+			return fmt.Errorf("bloomlang: saving profile %q: %w", p.Language, err)
+		}
+	}
+	return nil
+}
+
+// LoadProfiles reads profiles saved by SaveProfiles and attaches the
+// given classifier configuration. The configuration's N is overridden
+// by the profiles' n-gram length.
+func LoadProfiles(r io.Reader, cfg Config) (*ProfileSet, error) {
+	br := bufio.NewReader(r)
+	ps := &ProfileSet{Config: cfg}
+	for {
+		p, err := ngram.ReadProfile(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) && len(ps.Profiles) > 0 {
+				break
+			}
+			return nil, err
+		}
+		ps.Config.N = p.N
+		ps.Profiles = append(ps.Profiles, p)
+	}
+	return ps, nil
+}
+
+// DocumentStream classifies one document incrementally with bounded
+// memory; it implements io.Writer. See (*Classifier).NewStream via
+// NewDocumentStream.
+type DocumentStream = core.DocumentStream
+
+// NewDocumentStream starts an incremental classification stream on the
+// classifier.
+func NewDocumentStream(c *Classifier) *DocumentStream {
+	return c.NewStream()
+}
+
+// WideClassifier is the §3.3 Unicode extension: the same match-counting
+// classifier over 16-bit characters (Greek, Cyrillic, and any other
+// BMP script), with only the hash input width changed.
+type WideClassifier = core.WideClassifier
+
+// TrainWide builds a wide classifier from UTF-8 training texts keyed by
+// language code. N is capped at 4 (a 4-gram of 16-bit characters fills
+// the 64-bit hash input).
+func TrainWide(cfg Config, texts map[string][]string) (*WideClassifier, error) {
+	return core.TrainWide(cfg, texts)
+}

@@ -1,0 +1,88 @@
+package bloomlang
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadProfiles(t *testing.T) {
+	_, ps := fixtures(t)
+	var buf bytes.Buffer
+	if err := SaveProfiles(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadProfiles(&buf, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Profiles) != len(ps.Profiles) {
+		t.Fatalf("loaded %d profiles, want %d", len(back.Profiles), len(ps.Profiles))
+	}
+	for i, p := range back.Profiles {
+		orig := ps.Profiles[i]
+		if p.Language != orig.Language || p.Size() != orig.Size() {
+			t.Errorf("profile %d: %s/%d vs %s/%d", i, p.Language, p.Size(), orig.Language, orig.Size())
+		}
+	}
+	// A classifier built from reloaded profiles classifies identically:
+	// the Config seed is what fixes the hash matrices.
+	a, err := NewClassifier(ps, BackendBloom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewClassifier(back, BackendBloom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := fixCorpus.Test["fr"][0].Text
+	ra, rb := a.Classify(doc), b.Classify(doc)
+	for i := range ra.Counts {
+		if ra.Counts[i] != rb.Counts[i] {
+			t.Fatal("reloaded profiles classify differently")
+		}
+	}
+}
+
+func TestLoadProfilesErrors(t *testing.T) {
+	if _, err := LoadProfiles(bytes.NewReader(nil), DefaultConfig()); err == nil {
+		t.Error("LoadProfiles of empty stream succeeded")
+	}
+	if _, err := LoadProfiles(bytes.NewReader([]byte("garbage data")), DefaultConfig()); err == nil {
+		t.Error("LoadProfiles of garbage succeeded")
+	}
+}
+
+func TestDocumentStreamPublicAPI(t *testing.T) {
+	corp, ps := fixtures(t)
+	clf, err := NewClassifier(ps, BackendBloom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := corp.Test["sv"][0].Text
+	s := NewDocumentStream(clf)
+	half := len(doc) / 2
+	s.Write(doc[:half])
+	s.Write(doc[half:])
+	got := s.Result()
+	want := clf.Classify(doc)
+	if got.Best != want.Best || got.NGrams != want.NGrams {
+		t.Error("streamed result differs from batch result")
+	}
+}
+
+func TestTrainWidePublicAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 3
+	cfg.TopT = 1000
+	clf, err := TrainWide(cfg, map[string][]string{
+		"el": {"το συμβούλιο θεσπίζει τα αναγκαία μέτρα για την εφαρμογή του κανονισμού"},
+		"ru": {"совет принимает необходимые меры для применения настоящего регламента"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := clf.Classify("η επιτροπή και το συμβούλιο θεσπίζουν μέτρα")
+	if got := r.BestLanguage(clf.Languages()); got != "el" {
+		t.Errorf("Greek text classified as %q", got)
+	}
+}

@@ -1,0 +1,59 @@
+package bloomlang
+
+import (
+	"bloomlang/internal/ht"
+	"bloomlang/internal/xd1000"
+)
+
+// System is the simulated XD1000 machine: Opteron host, HyperTransport
+// link and FPGA classifier (§4, Figure 2b).
+type System = xd1000.System
+
+// SystemOptions configures a simulated system.
+type SystemOptions = xd1000.Options
+
+// RunReport summarizes a streaming classification run (Figure 4 units).
+type RunReport = xd1000.RunReport
+
+// QueryResult is the per-document result block the hardware returns.
+type QueryResult = xd1000.QueryResult
+
+// DriverMode selects the §5.4 host driver.
+type DriverMode = xd1000.Mode
+
+// Host driver modes: the interrupt-synchronized first version and the
+// streaming asynchronous second version of §5.4.
+const (
+	ModeSync  = xd1000.ModeSync
+	ModeAsync = xd1000.ModeAsync
+)
+
+// LinkConfig parameterizes the HyperTransport fabric model.
+type LinkConfig = ht.LinkConfig
+
+// XD1000Link returns the paper's measured platform: 1.6 GB/s peak,
+// 500 MB/s practical (§5.4).
+func XD1000Link() LinkConfig { return ht.XD1000Config() }
+
+// ImprovedLink returns the §5.5 projection with the practical bandwidth
+// cap removed.
+func ImprovedLink() LinkConfig { return ht.ImprovedConfig() }
+
+// NewSystem builds a simulated XD1000 for a trained profile set. Call
+// (*System).Program before streaming documents.
+func NewSystem(ps *ProfileSet, opts SystemOptions) (*System, error) {
+	return xd1000.New(ps, opts)
+}
+
+// SystemTrace records a timeline of simulated events (PIO writes, DMA
+// transfers, folds, interrupts, watchdog recoveries); attach one via
+// SystemOptions.Trace.
+type SystemTrace = xd1000.Trace
+
+// NewSystemTrace returns a trace retaining at most max events (0 =
+// unbounded).
+func NewSystemTrace(max int) *SystemTrace { return xd1000.NewTrace(max) }
+
+// FaultConfig injects deterministic transfer faults into a simulated
+// system (SystemOptions.Faults).
+type FaultConfig = xd1000.FaultConfig
