@@ -13,8 +13,6 @@
 package main
 
 import (
-	"bufio"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,7 +20,6 @@ import (
 	"os"
 
 	"bloomlang"
-	"bloomlang/internal/ngram"
 )
 
 func main() {
@@ -70,8 +67,7 @@ func eval(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ps.Config.K = *k
-	ps.Config.MBits = uint32(*m)
+	applyFilterFlags(fs, ps, *k, uint32(*m))
 	clf, err := bloomlang.NewClassifier(ps, bloomlang.BackendBloom)
 	if err != nil {
 		log.Fatal(err)
@@ -114,17 +110,7 @@ func train(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	for _, p := range ps.Profiles {
-		if _, err := p.WriteTo(f); err != nil {
-			log.Fatalf("writing %s: %v", p.Language, err)
-		}
-	}
-	if err := f.Close(); err != nil {
+	if err := bloomlang.SaveProfiles(ps, *out); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("trained %d profiles (n=%d, t=%d) -> %s\n", len(ps.Profiles), *n, *t, *out)
@@ -146,8 +132,7 @@ func classify(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ps.Config.K = *k
-	ps.Config.MBits = uint32(*m)
+	applyFilterFlags(fs, ps, *k, uint32(*m))
 
 	var be bloomlang.Backend
 	switch *backend {
@@ -198,27 +183,23 @@ func classify(args []string) {
 	}
 }
 
+// loadProfiles reads either the current profile-set format or legacy
+// bare-profile files; see bloomlang.LoadProfiles.
 func loadProfiles(path string) (*bloomlang.ProfileSet, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	cfg := bloomlang.DefaultConfig()
-	ps := &bloomlang.ProfileSet{Config: cfg}
-	for {
-		p, err := ngram.ReadProfile(br)
-		if err != nil {
-			// A clean end of file shows up as a wrapped io.EOF from the
-			// magic read; anything else is a real error.
-			if errors.Is(err, io.EOF) && len(ps.Profiles) > 0 {
-				break
-			}
-			return nil, err
+	return bloomlang.LoadProfiles(path)
+}
+
+// applyFilterFlags overrides the loaded configuration's filter geometry
+// only for flags the user actually set: profile files carry their
+// training configuration, and silently clobbering it with flag defaults
+// would build different filters than a daemon serving the same file.
+func applyFilterFlags(fs *flag.FlagSet, ps *bloomlang.ProfileSet, k int, m uint32) {
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "k":
+			ps.Config.K = k
+		case "m":
+			ps.Config.MBits = m
 		}
-		ps.Config.N = p.N
-		ps.Profiles = append(ps.Profiles, p)
-	}
-	return ps, nil
+	})
 }

@@ -1,0 +1,159 @@
+// Command langidd is the language-detection daemon: the serving
+// subsystem of internal/serve behind a real listener, with profile
+// save/load so startup costs a file read instead of a training run.
+//
+// Serve from a trained profile file (see langid train or -save):
+//
+//	langidd -profiles profiles.bin -addr :8080
+//
+// Train from a corpus directory (cmd/corpusgen layout), save the
+// profiles, then serve:
+//
+//	langidd -corpus corpusdir -save profiles.bin
+//
+// Bootstrap against a synthetic corpus when no trained profiles exist
+// yet (development convenience; profiles are saved for next time when
+// -save is given):
+//
+//	langidd -synthetic -save profiles.bin
+//
+// Endpoints: POST /detect, POST /batch, POST /stream (NDJSON),
+// GET /healthz, GET /statsz. The daemon drains in-flight requests on
+// SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bloomlang"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("langidd: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	profilePath := flag.String("profiles", "", "trained profile file to serve from")
+	corpusDir := flag.String("corpus", "", "corpus directory to train from (corpusgen layout)")
+	synthetic := flag.Bool("synthetic", false, "train from a small synthetic corpus (development)")
+	savePath := flag.String("save", "", "write trained profiles to this file before serving")
+	backendName := flag.String("backend", "bloom", "membership backend: bloom, direct or classic")
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	maxBody := flag.Int64("max-body", 10<<20, "max /detect and /batch body bytes")
+	maxBatch := flag.Int("max-batch", 1024, "max documents per /batch request")
+	maxLine := flag.Int("max-line", 1<<20, "max NDJSON line bytes on /stream")
+	counts := flag.Bool("counts", false, "include per-language match counts in batch/stream responses")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+
+	backend, err := parseBackend(*backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps, err := loadOrTrain(*profilePath, *corpusDir, *synthetic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *savePath != "" {
+		if err := bloomlang.SaveProfiles(ps, *savePath); err != nil {
+			log.Fatalf("saving profiles: %v", err)
+		}
+		log.Printf("saved %d profiles to %s", len(ps.Profiles), *savePath)
+	}
+
+	srv, err := bloomlang.NewServer(ps, bloomlang.ServeConfig{
+		Backend:       backend,
+		Workers:       *workers,
+		MaxBodyBytes:  *maxBody,
+		MaxBatchDocs:  *maxBatch,
+		MaxLineBytes:  *maxLine,
+		IncludeCounts: *counts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %d languages on %s (backend %s, %d workers)",
+		len(ps.Profiles), *addr, backend, srv.Stats().Workers)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down, draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+}
+
+func parseBackend(name string) (bloomlang.Backend, error) {
+	switch name {
+	case "bloom":
+		return bloomlang.BackendBloom, nil
+	case "direct":
+		return bloomlang.BackendDirect, nil
+	case "classic":
+		return bloomlang.BackendClassic, nil
+	}
+	return 0, fmt.Errorf("unknown backend %q", name)
+}
+
+// loadOrTrain resolves the profile set from, in order of preference:
+// an existing profile file, a corpus directory, or (with -synthetic) a
+// generated development corpus.
+func loadOrTrain(profilePath, corpusDir string, synthetic bool) (*bloomlang.ProfileSet, error) {
+	if profilePath != "" {
+		ps, err := bloomlang.LoadProfiles(profilePath)
+		if err == nil {
+			log.Printf("loaded %d profiles from %s", len(ps.Profiles), profilePath)
+			return ps, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) || (corpusDir == "" && !synthetic) {
+			return nil, fmt.Errorf("loading profiles: %w", err)
+		}
+		log.Printf("profile file %s not found, training", profilePath)
+	}
+	switch {
+	case corpusDir != "":
+		corp, err := bloomlang.ReadCorpusDir(corpusDir)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("training from corpus %s", corpusDir)
+		return bloomlang.Train(bloomlang.DefaultConfig(), corp)
+	case synthetic:
+		corp, err := bloomlang.GenerateCorpus(bloomlang.CorpusConfig{
+			DocsPerLanguage: 80,
+			WordsPerDoc:     300,
+			TrainFraction:   0.2,
+			Seed:            8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		log.Print("training from synthetic corpus")
+		return bloomlang.Train(bloomlang.DefaultConfig(), corp)
+	}
+	return nil, errors.New("no profiles: pass -profiles FILE, -corpus DIR, or -synthetic")
+}

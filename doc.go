@@ -32,4 +32,34 @@
 //
 // Every table and figure of the paper's evaluation can be regenerated;
 // see the Run* experiment functions and cmd/experiments.
+//
+// # Serving
+//
+// The serving subsystem (internal/serve, re-exported as NewServer)
+// turns a trained classifier into the document-stream service the
+// paper positions the hardware behind. The handler exposes:
+//
+//	POST /detect   one raw document        -> one JSON detection
+//	POST /batch    JSON array of documents -> array of detections,
+//	               fanned out over the engine worker pool, input order
+//	               preserved
+//	POST /stream   NDJSON documents        -> NDJSON detections,
+//	               classified incrementally with bounded memory, one
+//	               result line flushed per input line
+//	GET  /healthz  liveness probe
+//	GET  /statsz   request/byte/latency counters (atomic snapshot)
+//
+// Trained profiles persist with SaveProfiles and come back with
+// LoadProfiles (configuration travels with the profiles), so a server
+// restart costs a file read instead of a training run:
+//
+//	profiles, _ := bloomlang.LoadProfiles("profiles.bin")
+//	srv, _ := bloomlang.NewServer(profiles, bloomlang.ServeConfig{})
+//	http.ListenAndServe(":8080", srv.Handler())
+//
+// cmd/langidd is the production daemon around this handler: flags for
+// address, backend, worker pool, and body/batch/line limits, profile
+// loading (or training via -corpus / -synthetic, with -save), and
+// graceful drain on SIGINT/SIGTERM. examples/server walks the full
+// serving surface in one self-contained program.
 package bloomlang

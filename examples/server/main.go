@@ -1,78 +1,42 @@
-// Server: a language-detection microservice — the kind of service a
+// Server: the language-detection microservice — the kind of service a
 // search-engine indexer or spam-filter front-end (§1) would call. The
-// classifier's read-only filters serve concurrent requests without
-// locking. The example starts the service on an ephemeral port, sends
-// itself a few requests, prints the responses, and exits.
+// heavy lifting lives in the library's serving subsystem (see
+// bloomlang.NewServer and cmd/langidd for the production daemon); this
+// example trains a small classifier, saves and reloads its profiles
+// through the serialization path a daemon restart would use, mounts the
+// handler on an ephemeral port, exercises every endpoint as a client,
+// and exits.
 //
-// API:
+// API (see internal/serve):
 //
-//	POST /detect            body = document text
-//	  -> {"language":"es","name":"Spanish","ngrams":57,"margin":21,"counts":{...}}
-//	GET  /healthz           -> 200 ok
+//	POST /detect   one document      -> {"language":"es","name":"Spanish",...}
+//	POST /batch    JSON array        -> array of detections, input order
+//	POST /stream   NDJSON documents  -> NDJSON detections, incremental
+//	GET  /healthz  liveness          -> 200 ok
+//	GET  /statsz   serving counters  -> JSON snapshot
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"io"
 	"log"
-	"net"
 	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"bloomlang"
 )
 
-type detectResponse struct {
-	Language string         `json:"language"`
-	Name     string         `json:"name"`
-	NGrams   int            `json:"ngrams"`
-	Margin   int            `json:"margin"`
-	Counts   map[string]int `json:"counts"`
-}
-
-func newHandler(clf *bloomlang.Classifier) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/detect", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST a document body", http.StatusMethodNotAllowed)
-			return
-		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, 10<<20))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		res := clf.Classify(body)
-		lang := res.BestLanguage(clf.Languages())
-		if lang == "" {
-			http.Error(w, "document too short to classify", http.StatusUnprocessableEntity)
-			return
-		}
-		counts := make(map[string]int, len(res.Counts))
-		for i, l := range clf.Languages() {
-			counts[l] = res.Counts[i]
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(detectResponse{
-			Language: lang,
-			Name:     bloomlang.LanguageName(lang),
-			NGrams:   res.NGrams,
-			Margin:   res.Margin(),
-			Counts:   counts,
-		})
-	})
-	return mux
-}
-
 func main() {
 	log.SetFlags(0)
 
-	// Train once at startup.
+	// Train once, then persist and reload the profiles — the round-trip
+	// a daemon restart takes instead of re-training (cf. langidd -save).
 	corp, err := bloomlang.GenerateCorpus(bloomlang.CorpusConfig{
 		DocsPerLanguage: 80,
 		WordsPerDoc:     300,
@@ -82,50 +46,105 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	profiles, err := bloomlang.Train(bloomlang.DefaultConfig(), corp)
+	trained, err := bloomlang.Train(bloomlang.DefaultConfig(), corp)
 	if err != nil {
 		log.Fatal(err)
 	}
-	clf, err := bloomlang.NewClassifier(profiles, bloomlang.BackendBloom)
+	dir, err := os.MkdirTemp("", "bloomlang-server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	profilePath := filepath.Join(dir, "profiles.bin")
+	if err := bloomlang.SaveProfiles(trained, profilePath); err != nil {
+		log.Fatal(err)
+	}
+	profiles, err := bloomlang.LoadProfiles(profilePath)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	srv, err := bloomlang.NewServer(profiles, bloomlang.ServeConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: newHandler(clf)}
-	go srv.Serve(ln)
-	base := "http://" + ln.Addr().String()
-	fmt.Printf("language detection service on %s\n\n", base)
-
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("language detection service on %s\n\n", ts.URL)
 	client := &http.Client{Timeout: 5 * time.Second}
-	queries := []string{
-		"el consejo y la comision adoptan todas las medidas necesarias para la aplicacion del presente reglamento cuando los estados miembros lo soliciten",
+
+	// One document through /detect.
+	resp, err := client.Post(ts.URL+"/detect", "text/plain", strings.NewReader(
+		"el consejo y la comision adoptan todas las medidas necesarias para la aplicacion del presente reglamento"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var det bloomlang.Detection
+	if err := json.NewDecoder(resp.Body).Decode(&det); err != nil {
+		log.Fatalf("/detect: %v", err)
+	}
+	resp.Body.Close()
+	fmt.Printf("/detect  -> %s (%s), margin %d of %d n-grams\n\n",
+		det.Language, det.Name, det.Margin, det.NGrams)
+
+	// A document set through /batch, classified by the worker pool.
+	batch, _ := json.Marshal([]string{
 		"kommissionen skall anta de bestammelser som ar nodvandiga for tillampningen",
 		"komissio antaa asetuksen soveltamista koskevat tarpeelliset saannokset",
 		"the council shall adopt the measures necessary for this regulation",
+	})
+	resp, err = client.Post(ts.URL+"/batch", "application/json", bytes.NewReader(batch))
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, q := range queries {
-		resp, err := client.Post(base+"/detect", "text/plain", bytes.NewBufferString(q))
-		if err != nil {
-			log.Fatal(err)
-		}
-		var det detectResponse
-		if err := json.NewDecoder(resp.Body).Decode(&det); err != nil {
-			log.Fatal(err)
-		}
-		resp.Body.Close()
-		fmt.Printf("%-70.70s -> %s (%s), margin %d\n", q, det.Language, det.Name, det.Margin)
+	var dets []bloomlang.Detection
+	if err := json.NewDecoder(resp.Body).Decode(&dets); err != nil {
+		log.Fatalf("/batch: %v", err)
 	}
+	resp.Body.Close()
+	for i, d := range dets {
+		fmt.Printf("/batch %d -> %s (%s)\n", i, d.Language, d.Name)
+	}
+	fmt.Println()
 
-	// Health check, then shut down.
-	resp, err := client.Get(base + "/healthz")
+	// An NDJSON stream: one result line per document line.
+	ndjson := `{"id":"a","text":"a comissao adota as medidas necessarias para a aplicacao do presente regulamento"}
+{"id":"b","text":"le conseil arrete les dispositions necessaires pour la mise en oeuvre du present reglement"}
+`
+	resp, err = client.Post(ts.URL+"/stream", "application/x-ndjson", strings.NewReader(ndjson))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var d bloomlang.Detection
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			log.Fatalf("/stream: %v", err)
+		}
+		fmt.Printf("/stream %s -> %s (%s)\n", d.ID, d.Language, d.Name)
+	}
+	resp.Body.Close()
+	fmt.Println()
+
+	// Health and serving counters.
+	resp, err = client.Get(ts.URL + "/healthz")
 	if err != nil {
 		log.Fatal(err)
 	}
 	resp.Body.Close()
-	fmt.Printf("\nhealth: %s\n", resp.Status)
-	srv.Close()
+	fmt.Printf("health: %s\n", resp.Status)
+	resp, err = client.Get(ts.URL + "/statsz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stats bloomlang.ServeStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatalf("/statsz: %v", err)
+	}
+	resp.Body.Close()
+	fmt.Printf("stats: %d detect, %d batch docs, %d stream docs across %d languages\n",
+		stats.Endpoints["/detect"].Docs,
+		stats.Endpoints["/batch"].Docs,
+		stats.Endpoints["/stream"].Docs,
+		len(stats.Languages))
 }

@@ -1,0 +1,3 @@
+module bloomlang
+
+go 1.24

@@ -1,0 +1,122 @@
+package core
+
+// Equivalence guarantees the serving layer leans on: a document fed to
+// DocumentStream in any chunking — including splits landing mid-n-gram
+// — produces the identical Result as one-shot classification, and the
+// engine's parallel fan-out returns results in input order at any
+// worker count.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bloomlang/internal/corpus"
+)
+
+// splitPoints returns deterministic pseudo-random cut offsets for a
+// document of length n.
+func splitPoints(rng *rand.Rand, n, cuts int) []int {
+	pts := make([]int, 0, cuts)
+	for i := 0; i < cuts; i++ {
+		pts = append(pts, rng.Intn(n))
+	}
+	pts = append(pts, 0, n)
+	// Insertion sort keeps the helper dependency-free.
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j] < pts[j-1]; j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	return pts
+}
+
+func TestStreamArbitraryChunkSplitsMatchOneShot(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 1000})
+	for _, backend := range []Backend{BackendBloom, BackendDirect} {
+		c, err := New(ps, backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for _, lang := range []string{"en", "es", "fi", "pt"} {
+			doc := getMiniCorpus(t).Test[lang][0].Text
+			want := c.Classify(doc)
+			s := c.NewStream()
+			for trial := 0; trial < 20; trial++ {
+				pts := splitPoints(rng, len(doc), 1+rng.Intn(12))
+				s.Reset()
+				for i := 1; i < len(pts); i++ {
+					s.Write(doc[pts[i-1]:pts[i]])
+				}
+				if got := s.Result(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s/%s: split %v: stream %+v != one-shot %+v",
+						backend, lang, pts, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamMidNGramBoundarySplits walks a two-chunk split across every
+// offset in the n-gram window region, so each possible mid-n-gram cut
+// is hit explicitly.
+func TestStreamMidNGramBoundarySplits(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 1000})
+	c, err := New(ps, BackendBloom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := getMiniCorpus(t).Test["es"][0].Text
+	if len(doc) > 64 {
+		doc = doc[:64]
+	}
+	want := c.Classify(doc)
+	s := c.NewStream()
+	for cut := 0; cut <= len(doc); cut++ {
+		s.Reset()
+		s.Write(doc[:cut])
+		s.Write(doc[cut:])
+		if got := s.Result(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut at %d: stream %+v != one-shot %+v", cut, got, want)
+		}
+	}
+}
+
+func TestClassifyAllPreservesInputOrder(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 1000})
+	c, err := New(ps, BackendBloom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave languages so a reordering cannot produce the same
+	// language sequence.
+	var docs []corpus.Document
+	var wantLangs []string
+	corp := getMiniCorpus(t)
+	for i := 0; i < 5; i++ {
+		for _, lang := range []string{"fi", "en", "pt", "es"} {
+			docs = append(docs, corp.Test[lang][i])
+			wantLangs = append(wantLangs, lang)
+		}
+	}
+	want := make([]Result, len(docs))
+	for i, d := range docs {
+		want[i] = c.Classify(d.Text)
+	}
+	for _, workers := range []int{1, 3, len(docs) * 4} {
+		e := NewEngine(c, workers)
+		got := e.ClassifyAll(docs)
+		if len(got) != len(docs) {
+			t.Fatalf("workers=%d: %d results for %d docs", workers, len(got), len(docs))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("workers=%d: result %d differs from sequential", workers, i)
+			}
+			if lang := got[i].BestLanguage(c.Languages()); lang != wantLangs[i] {
+				t.Errorf("workers=%d: position %d classified %q, want %q", workers, i, lang, wantLangs[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestProfileSetRoundTrip(t *testing.T) {
+	cfg := Config{N: 4, TopT: 800, K: 6, MBits: 8 * 1024, Seed: 42, Subsample: 2}
+	ps := trainMini(t, cfg)
+
+	var buf bytes.Buffer
+	n, err := ps.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	got, err := ReadProfileSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config != ps.Config {
+		t.Errorf("config round-trip: got %+v, want %+v", got.Config, ps.Config)
+	}
+	if len(got.Profiles) != len(ps.Profiles) {
+		t.Fatalf("got %d profiles, want %d", len(got.Profiles), len(ps.Profiles))
+	}
+	for i, p := range ps.Profiles {
+		q := got.Profiles[i]
+		if q.Language != p.Language || q.N != p.N || !reflect.DeepEqual(q.Grams, p.Grams) {
+			t.Errorf("profile %q did not round-trip", p.Language)
+		}
+	}
+}
+
+func TestProfileSetRoundTripProducesIdenticalClassifier(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 1000, Seed: 9})
+	var buf bytes.Buffer
+	if _, err := ps.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadProfileSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := New(ps, BackendBloom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDisk, err := New(loaded, BackendBloom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lang := range []string{"en", "es", "fi", "pt"} {
+		doc := getMiniCorpus(t).Test[lang][0].Text
+		a, b := orig.Classify(doc), fromDisk.Classify(doc)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: classifier from reloaded profiles disagrees: %+v vs %+v", lang, a, b)
+		}
+	}
+}
+
+func TestProfileSetSaveLoadFile(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 500})
+	path := filepath.Join(t.TempDir(), "profiles.bin")
+	if err := ps.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfileSetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config != ps.Config || len(got.Profiles) != len(ps.Profiles) {
+		t.Errorf("file round-trip mismatch: %+v", got.Config)
+	}
+}
+
+func TestReadProfileSetLegacyFormat(t *testing.T) {
+	// Bare concatenated NGPF records, as older cmd/langid train wrote.
+	ps := trainMini(t, Config{TopT: 300})
+	var buf bytes.Buffer
+	for _, p := range ps.Profiles {
+		if _, err := p.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadProfileSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Profiles) != len(ps.Profiles) {
+		t.Fatalf("legacy read: got %d profiles, want %d", len(got.Profiles), len(ps.Profiles))
+	}
+	if got.Config.N != ps.Config.N {
+		t.Errorf("legacy read: config n=%d, want %d", got.Config.N, ps.Config.N)
+	}
+	for i, p := range ps.Profiles {
+		if !reflect.DeepEqual(got.Profiles[i].Grams, p.Grams) {
+			t.Errorf("legacy profile %q did not round-trip", p.Language)
+		}
+	}
+}
+
+func TestReadProfileSetErrors(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 200})
+	var full bytes.Buffer
+	if _, err := ps.WriteTo(&full); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        nil,
+		"bad magic":    []byte("XXXXjunkjunkjunk"),
+		"truncated":    full.Bytes()[:full.Len()/2],
+		"version bump": append([]byte("NGPS\xff"), full.Bytes()[5:]...),
+	}
+	for name, data := range cases {
+		if _, err := ReadProfileSet(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadProfileSet accepted malformed input", name)
+		}
+	}
+}
+
+func TestReadProfileSetRejectsMismatchedN(t *testing.T) {
+	// A set whose header says n=4 but whose profiles were built with
+	// n=3 must be rejected on read, not silently misclassify later.
+	threeGram := trainMini(t, Config{N: 3, TopT: 200})
+	mixed := &ProfileSet{Config: DefaultConfig(), Profiles: threeGram.Profiles}
+	var buf bytes.Buffer
+	if _, err := mixed.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadProfileSet(&buf)
+	if err == nil || !strings.Contains(err.Error(), "n=") {
+		t.Errorf("mismatched profile n not rejected: %v", err)
+	}
+}

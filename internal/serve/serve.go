@@ -1,0 +1,358 @@
+// Package serve is the network-facing serving subsystem: an
+// http.Handler that exposes a trained classifier as the
+// language-detection service the paper positions the hardware behind —
+// a search-engine or filtering front-end fielding a heavy stream of
+// documents (§1, §5.4).
+//
+// Endpoints:
+//
+//	POST /detect   body = one raw document        -> one JSON Detection
+//	POST /batch    body = JSON array of documents -> JSON array of Detections
+//	POST /stream   body = NDJSON documents        -> NDJSON Detections, incremental
+//	GET  /healthz  liveness probe                 -> 200 "ok"
+//	GET  /statsz   request/byte/latency counters  -> JSON Snapshot
+//
+// Batch requests fan out through the engine's worker pool
+// (document-level parallelism, the software analogue of the paper's
+// parallel document processing); stream requests are classified
+// incrementally with bounded memory via core.DocumentStream, one
+// result line flushed per input line. The classifier's membership
+// structures are read-only after construction, so all endpoints serve
+// concurrent traffic without locking.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"bloomlang/internal/core"
+	"bloomlang/internal/corpus"
+)
+
+// Config carries the serving-layer knobs.
+type Config struct {
+	// Backend selects the membership structure; default BackendBloom.
+	Backend core.Backend
+	// Workers bounds /batch fan-out; 0 means GOMAXPROCS.
+	Workers int
+	// MaxBodyBytes caps /detect and /batch request bodies; default 10 MiB.
+	// /stream is unbounded in total size by design and bounded per line
+	// instead.
+	MaxBodyBytes int64
+	// MaxBatchDocs caps the number of documents in one /batch request;
+	// default 1024.
+	MaxBatchDocs int
+	// MaxLineBytes caps one NDJSON line on /stream; default 1 MiB.
+	MaxLineBytes int
+	// IncludeCounts adds per-language match counts to every Detection
+	// (always included on /detect).
+	IncludeCounts bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 10 << 20
+	}
+	if c.MaxBatchDocs <= 0 {
+		c.MaxBatchDocs = 1024
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 1 << 20
+	}
+}
+
+// Server owns a classifier, an engine, and the serving counters. It is
+// safe for concurrent use by any number of connections.
+type Server struct {
+	cfg   Config
+	clf   *core.Classifier
+	eng   *core.Engine
+	start time.Time
+
+	detect  endpointStats
+	batch   endpointStats
+	stream  endpointStats
+	healthz endpointStats
+	statsz  endpointStats
+}
+
+// New builds a server from trained profiles.
+func New(ps *core.ProfileSet, cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	clf, err := core.New(ps, cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromClassifier(clf, cfg), nil
+}
+
+// NewFromClassifier wraps an existing classifier; cfg.Backend is
+// ignored in favour of the classifier's own.
+func NewFromClassifier(clf *core.Classifier, cfg Config) *Server {
+	cfg.applyDefaults()
+	cfg.Backend = clf.Backend()
+	return &Server{
+		cfg:   cfg,
+		clf:   clf,
+		eng:   core.NewEngine(clf, cfg.Workers),
+		start: time.Now(),
+	}
+}
+
+// Classifier returns the classifier serving requests.
+func (s *Server) Classifier() *core.Classifier { return s.clf }
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/detect", s.measure(&s.detect, http.MethodPost, s.handleDetect))
+	mux.Handle("/batch", s.measure(&s.batch, http.MethodPost, s.handleBatch))
+	mux.Handle("/stream", s.measure(&s.stream, http.MethodPost, s.handleStream))
+	mux.Handle("/healthz", s.measure(&s.healthz, http.MethodGet, s.handleHealthz))
+	mux.Handle("/statsz", s.measure(&s.statsz, http.MethodGet, s.handleStatsz))
+	return mux
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Snapshot {
+	return Snapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Backend:       s.clf.Backend().String(),
+		Workers:       s.eng.Workers(),
+		Languages:     s.clf.Languages(),
+		Endpoints: map[string]EndpointSnapshot{
+			"/detect":  s.detect.snapshot(),
+			"/batch":   s.batch.snapshot(),
+			"/stream":  s.stream.snapshot(),
+			"/healthz": s.healthz.snapshot(),
+			"/statsz":  s.statsz.snapshot(),
+		},
+	}
+}
+
+// statusRecorder captures the response status for error counting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so /stream can push each
+// result line as it is produced.
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the real writer for
+// full-duplex control.
+func (w *statusRecorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (s *Server) measure(st *endpointStats, method string, h func(http.ResponseWriter, *http.Request, *endpointStats)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		st.requests.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		if r.Method != method {
+			rec.Header().Set("Allow", method)
+			http.Error(rec, fmt.Sprintf("%s requires %s", r.URL.Path, method), http.StatusMethodNotAllowed)
+		} else {
+			h(rec, r, st)
+		}
+		if rec.status >= 400 {
+			st.errors.Add(1)
+		}
+		st.latencyNS.Add(time.Since(start).Nanoseconds())
+	})
+}
+
+// Detection is one classified document, the unit of every response.
+type Detection struct {
+	// ID echoes the request document's id, when one was given.
+	ID string `json:"id,omitempty"`
+	// Language is the winning language code, or "" when the document
+	// contained no n-grams.
+	Language string `json:"language"`
+	// Name is the English language name, when known.
+	Name string `json:"name,omitempty"`
+	// NGrams is the number of n-grams tested.
+	NGrams int `json:"ngrams"`
+	// Margin is the winner's match-count lead over the runner-up.
+	Margin int `json:"margin"`
+	// Counts holds per-language match counts, when requested.
+	Counts map[string]int `json:"counts,omitempty"`
+	// Error reports a per-document failure on /stream.
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) detection(id string, r core.Result, withCounts bool) Detection {
+	langs := s.clf.Languages()
+	d := Detection{
+		ID:       id,
+		Language: r.BestLanguage(langs),
+		NGrams:   r.NGrams,
+		Margin:   r.Margin(),
+	}
+	d.Name = corpus.Name(d.Language)
+	if withCounts {
+		d.Counts = make(map[string]int, len(langs))
+		for i, l := range langs {
+			d.Counts[l] = r.Counts[i]
+		}
+	}
+	return d
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request, st *endpointStats) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		httpReadError(w, err)
+		return
+	}
+	st.bytes.Add(int64(len(body)))
+	res := s.clf.Classify(body)
+	if res.Best < 0 {
+		http.Error(w, "document too short to classify", http.StatusUnprocessableEntity)
+		return
+	}
+	st.docs.Add(1)
+	writeJSON(w, s.detection("", res, true))
+}
+
+// batchDoc accepts either a bare JSON string or {"id": ..., "text": ...}.
+type batchDoc struct {
+	ID   string
+	Text string
+}
+
+func (d *batchDoc) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		return json.Unmarshal(data, &d.Text)
+	}
+	var obj struct {
+		ID   string `json:"id"`
+		Text string `json:"text"`
+	}
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return err
+	}
+	d.ID, d.Text = obj.ID, obj.Text
+	return nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, st *endpointStats) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		httpReadError(w, err)
+		return
+	}
+	var reqDocs []batchDoc
+	if err := json.Unmarshal(body, &reqDocs); err != nil {
+		http.Error(w, "body must be a JSON array of documents: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(reqDocs) > s.cfg.MaxBatchDocs {
+		http.Error(w, fmt.Sprintf("batch of %d documents exceeds limit %d", len(reqDocs), s.cfg.MaxBatchDocs), http.StatusRequestEntityTooLarge)
+		return
+	}
+	docs := make([]corpus.Document, len(reqDocs))
+	var bytes int64
+	for i, d := range reqDocs {
+		docs[i].Text = []byte(d.Text)
+		bytes += int64(len(d.Text))
+	}
+	st.bytes.Add(bytes)
+	results := s.eng.ClassifyAll(docs)
+	st.docs.Add(int64(len(results)))
+	out := make([]Detection, len(results))
+	for i, res := range results {
+		out[i] = s.detection(reqDocs[i].ID, res, s.cfg.IncludeCounts)
+	}
+	writeJSON(w, out)
+}
+
+// handleStream reads NDJSON documents (one JSON string or {id, text}
+// object per line) and writes one NDJSON Detection per line, flushed as
+// produced. The whole exchange uses bounded memory regardless of how
+// many documents flow through: one line buffer, one DocumentStream
+// reset at each document boundary — the software mirror of the
+// hardware's End-of-Document marker in the DMA stream (§3.3).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, st *endpointStats) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Result lines go out while request lines are still coming in; for
+	// HTTP/1 the server would otherwise cut off the request body at the
+	// first flush.
+	http.NewResponseController(w).EnableFullDuplex()
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	ds := s.clf.NewStream()
+	sc := bufio.NewScanner(r.Body)
+	// Scanner's effective cap is max(cap(buf), max), so the initial
+	// buffer must not exceed the configured line limit.
+	bufCap := 64 << 10
+	if s.cfg.MaxLineBytes < bufCap {
+		bufCap = s.cfg.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, 0, bufCap), s.cfg.MaxLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var doc batchDoc
+		if err := json.Unmarshal(line, &doc); err != nil {
+			enc.Encode(Detection{Error: "bad document line: " + err.Error()})
+			continue
+		}
+		st.bytes.Add(int64(len(doc.Text)))
+		ds.Reset()
+		io.WriteString(ds, doc.Text)
+		st.docs.Add(1)
+		enc.Encode(s.detection(doc.ID, ds.Result(), s.cfg.IncludeCounts))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Headers are long gone; report the failure in-band and stop.
+		msg := err.Error()
+		if errors.Is(err, bufio.ErrTooLong) {
+			msg = fmt.Sprintf("document line exceeds %d bytes", s.cfg.MaxLineBytes)
+		}
+		enc.Encode(Detection{Error: msg})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request, st *endpointStats) {
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request, st *endpointStats) {
+	writeJSON(w, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// httpReadError maps body-read failures to statuses: the MaxBytesReader
+// limit becomes 413, everything else 400.
+func httpReadError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}

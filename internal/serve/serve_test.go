@@ -1,0 +1,505 @@
+package serve_test
+
+// Integration tests for the serving subsystem: a classifier trained on
+// a small synthetic corpus, persisted and reloaded through the profile
+// serialization path (the restart a production daemon takes), mounted
+// under httptest, and exercised over real HTTP — including concurrent
+// clients, so `go test -race` sweeps the whole serving data path.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"bloomlang/internal/core"
+	"bloomlang/internal/corpus"
+	"bloomlang/internal/serve"
+)
+
+// testLangs are the languages the fixture trains; tests classify
+// documents from all four.
+var testLangs = []string{"en", "es", "fi", "pt"}
+
+var (
+	fixOnce   sync.Once
+	fixCorpus *corpus.Corpus
+	fixSet    *core.ProfileSet
+	fixErr    error
+)
+
+// fixtures trains once per test binary, then saves and reloads the
+// profiles so every test runs against deserialized state.
+func fixtures(t testing.TB) (*corpus.Corpus, *core.ProfileSet) {
+	t.Helper()
+	fixOnce.Do(func() {
+		corp, err := corpus.Generate(corpus.Config{
+			Languages:       testLangs,
+			DocsPerLanguage: 30,
+			WordsPerDoc:     150,
+			TrainFraction:   0.3,
+			Seed:            11,
+		})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		trained, err := core.Train(core.Config{TopT: 1500}, corp)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		path := filepath.Join(t.TempDir(), "profiles.bin")
+		if err := trained.SaveFile(path); err != nil {
+			fixErr = err
+			return
+		}
+		fixCorpus = corp
+		fixSet, fixErr = core.LoadProfileSetFile(path)
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixCorpus, fixSet
+}
+
+func newTestServer(t testing.TB, cfg serve.Config) (*httptest.Server, *corpus.Corpus) {
+	t.Helper()
+	corp, ps := fixtures(t)
+	srv, err := serve.New(ps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, corp
+}
+
+func postDetect(t testing.TB, ts *httptest.Server, doc []byte) serve.Detection {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/detect", "text/plain", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("/detect status %d: %s", resp.StatusCode, body)
+	}
+	var d serve.Detection
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDetectAcrossLanguages is the acceptance path: documents in four
+// languages, each classified correctly via /detect against profiles
+// that went through a save/reload round-trip.
+func TestDetectAcrossLanguages(t *testing.T) {
+	ts, corp := newTestServer(t, serve.Config{})
+	for _, lang := range testLangs {
+		doc := corp.Test[lang][0].Text
+		d := postDetect(t, ts, doc)
+		if d.Language != lang {
+			t.Errorf("%s document detected as %q", lang, d.Language)
+		}
+		if d.NGrams == 0 || d.Counts == nil {
+			t.Errorf("%s: degenerate detection %+v", lang, d)
+		}
+		if d.Name != corpus.Name(lang) {
+			t.Errorf("%s: name %q, want %q", lang, d.Name, corpus.Name(lang))
+		}
+	}
+}
+
+func TestBatchPreservesOrderAcrossLanguages(t *testing.T) {
+	ts, corp := newTestServer(t, serve.Config{})
+	type reqDoc struct {
+		ID   string `json:"id"`
+		Text string `json:"text"`
+	}
+	var docs []reqDoc
+	var wantLangs []string
+	// Interleave languages so order mistakes cannot hide.
+	for i := 0; i < 3; i++ {
+		for _, lang := range testLangs {
+			docs = append(docs, reqDoc{
+				ID:   fmt.Sprintf("%s-%d", lang, i),
+				Text: string(corp.Test[lang][i].Text),
+			})
+			wantLangs = append(wantLangs, lang)
+		}
+	}
+	body, _ := json.Marshal(docs)
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dets []serve.Detection
+	if err := json.NewDecoder(resp.Body).Decode(&dets); err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != len(docs) {
+		t.Fatalf("got %d detections for %d documents", len(dets), len(docs))
+	}
+	for i, d := range dets {
+		if d.ID != docs[i].ID {
+			t.Errorf("position %d: id %q, want %q (order not preserved)", i, d.ID, docs[i].ID)
+		}
+		if d.Language != wantLangs[i] {
+			t.Errorf("position %d: language %q, want %q", i, d.Language, wantLangs[i])
+		}
+	}
+}
+
+func TestBatchAcceptsBareStrings(t *testing.T) {
+	ts, corp := newTestServer(t, serve.Config{})
+	body, _ := json.Marshal([]string{
+		string(corp.Test["es"][0].Text),
+		string(corp.Test["fi"][0].Text),
+	})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dets []serve.Detection
+	if err := json.NewDecoder(resp.Body).Decode(&dets); err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 2 || dets[0].Language != "es" || dets[1].Language != "fi" {
+		t.Errorf("bare-string batch = %+v", dets)
+	}
+}
+
+func TestStreamNDJSONRoundTrip(t *testing.T) {
+	ts, corp := newTestServer(t, serve.Config{})
+	var in bytes.Buffer
+	var wantIDs, wantLangs []string
+	for i := 0; i < 2; i++ {
+		for _, lang := range testLangs {
+			id := fmt.Sprintf("%s-%d", lang, i)
+			line, _ := json.Marshal(map[string]string{
+				"id": id, "text": string(corp.Test[lang][i].Text),
+			})
+			in.Write(line)
+			in.WriteByte('\n')
+			wantIDs = append(wantIDs, id)
+			wantLangs = append(wantLangs, lang)
+		}
+		// Blank lines between documents are tolerated.
+		in.WriteByte('\n')
+	}
+	resp, err := http.Post(ts.URL+"/stream", "application/x-ndjson", &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var got []serve.Detection
+	for sc.Scan() {
+		var d serve.Detection
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("bad response line %q: %v", sc.Text(), err)
+		}
+		got = append(got, d)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(wantIDs) {
+		t.Fatalf("got %d result lines for %d documents", len(got), len(wantIDs))
+	}
+	for i, d := range got {
+		if d.ID != wantIDs[i] || d.Language != wantLangs[i] || d.Error != "" {
+			t.Errorf("line %d: %+v, want id %q lang %q", i, d, wantIDs[i], wantLangs[i])
+		}
+	}
+}
+
+func TestStreamReportsBadLinesInBand(t *testing.T) {
+	ts, corp := newTestServer(t, serve.Config{})
+	goodLine, _ := json.Marshal(map[string]string{
+		"id": "good", "text": string(corp.Test["en"][0].Text),
+	})
+	in := "this is not json\n" + string(goodLine) + "\n"
+	resp, err := http.Post(ts.URL+"/stream", "application/x-ndjson", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var got []serve.Detection
+	for sc.Scan() {
+		var d serve.Detection
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, d)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d lines, want 2: %+v", len(got), got)
+	}
+	if got[0].Error == "" {
+		t.Error("malformed line produced no in-band error")
+	}
+	if got[1].ID != "good" || got[1].Language != "en" {
+		t.Errorf("stream did not recover after bad line: %+v", got[1])
+	}
+}
+
+func TestStreamLineTooLong(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{MaxLineBytes: 256})
+	line, _ := json.Marshal(map[string]string{"text": strings.Repeat("abcdefg ", 200)})
+	resp, err := http.Post(ts.URL+"/stream", "application/x-ndjson", bytes.NewReader(append(line, '\n')))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var d serve.Detection
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.Error, "exceeds 256 bytes") {
+		t.Errorf("oversized line error = %+v", d)
+	}
+}
+
+func TestOversizedBodies(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{MaxBodyBytes: 1024})
+	big := bytes.Repeat([]byte("word "), 1024)
+	for _, path := range []string{"/detect", "/batch"} {
+		resp, err := http.Post(ts.URL+path, "text/plain", bytes.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized body: status %d, want 413", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestWrongMethods(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{})
+	cases := []struct{ method, path string }{
+		{http.MethodGet, "/detect"},
+		{http.MethodGet, "/batch"},
+		{http.MethodGet, "/stream"},
+		{http.MethodPost, "/healthz"},
+		{http.MethodPost, "/statsz"},
+		{http.MethodDelete, "/detect"},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader("x"))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow == "" {
+			t.Errorf("%s %s: no Allow header", c.method, c.path)
+		}
+	}
+}
+
+func TestBatchErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{MaxBatchDocs: 4})
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed batch: status %d, want 400", resp.StatusCode)
+	}
+	// Too many documents.
+	body, _ := json.Marshal(make([]string, 5))
+	resp, err = http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("over-limit batch: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestDetectUnclassifiable(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{})
+	resp, err := http.Post(ts.URL+"/detect", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("empty document: status %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestConcurrentClients hammers /detect, /batch and /stream from many
+// goroutines at once — the scenario the race detector needs to see —
+// then checks the /statsz counters add up exactly.
+func TestConcurrentClients(t *testing.T) {
+	ts, corp := newTestServer(t, serve.Config{Workers: 4})
+	const clients = 8
+	const perClient = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*3)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lang := testLangs[c%len(testLangs)]
+			doc := corp.Test[lang][c%len(corp.Test[lang])].Text
+			for i := 0; i < perClient; i++ {
+				// /detect
+				resp, err := http.Post(ts.URL+"/detect", "text/plain", bytes.NewReader(doc))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var d serve.Detection
+				err = json.NewDecoder(resp.Body).Decode(&d)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if d.Language != lang {
+					errs <- fmt.Errorf("client %d: detect %q, want %q", c, d.Language, lang)
+					return
+				}
+				// /batch of 2
+				body, _ := json.Marshal([]string{string(doc), string(doc)})
+				resp, err = http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var dets []serve.Detection
+				err = json.NewDecoder(resp.Body).Decode(&dets)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(dets) != 2 || dets[0].Language != lang || dets[1].Language != lang {
+					errs <- fmt.Errorf("client %d: batch %+v", c, dets)
+					return
+				}
+				// /stream of 1
+				line, _ := json.Marshal(map[string]string{"text": string(doc)})
+				resp, err = http.Post(ts.URL+"/stream", "application/x-ndjson", bytes.NewReader(append(line, '\n')))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var sd serve.Detection
+				err = json.NewDecoder(resp.Body).Decode(&sd)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if sd.Language != lang {
+					errs <- fmt.Errorf("client %d: stream %q, want %q", c, sd.Language, lang)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap serve.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(clients * perClient)
+	if got := snap.Endpoints["/detect"].Docs; got != want {
+		t.Errorf("detect docs = %d, want %d", got, want)
+	}
+	if got := snap.Endpoints["/batch"].Docs; got != 2*want {
+		t.Errorf("batch docs = %d, want %d", got, 2*want)
+	}
+	if got := snap.Endpoints["/stream"].Docs; got != want {
+		t.Errorf("stream docs = %d, want %d", got, want)
+	}
+	if snap.Endpoints["/detect"].Bytes == 0 || snap.Endpoints["/detect"].AvgLatencyMicros <= 0 {
+		t.Errorf("degenerate detect stats: %+v", snap.Endpoints["/detect"])
+	}
+	if len(snap.Languages) != len(testLangs) {
+		t.Errorf("statsz languages = %v", snap.Languages)
+	}
+}
+
+// TestStatszCountsErrors checks failed requests land in the error
+// counters.
+func TestStatszCountsErrors(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{})
+	resp, err := http.Get(ts.URL + "/detect") // wrong method
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(ts.URL+"/detect", "text/plain", strings.NewReader("")) // 422
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap serve.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Endpoints["/detect"].Errors; got != 2 {
+		t.Errorf("detect errors = %d, want 2", got)
+	}
+	if got := snap.Endpoints["/detect"].Requests; got != 2 {
+		t.Errorf("detect requests = %d, want 2", got)
+	}
+}

@@ -1,0 +1,57 @@
+package serve
+
+import "sync/atomic"
+
+// endpointStats holds one endpoint's counters. All fields are atomics:
+// handlers on every connection update them concurrently and /statsz
+// reads them without locks, mirroring how the classifier itself shares
+// nothing mutable on the hot path.
+type endpointStats struct {
+	requests  atomic.Int64
+	docs      atomic.Int64
+	bytes     atomic.Int64
+	errors    atomic.Int64
+	latencyNS atomic.Int64
+}
+
+func (e *endpointStats) snapshot() EndpointSnapshot {
+	s := EndpointSnapshot{
+		Requests: e.requests.Load(),
+		Docs:     e.docs.Load(),
+		Bytes:    e.bytes.Load(),
+		Errors:   e.errors.Load(),
+	}
+	if s.Requests > 0 {
+		s.AvgLatencyMicros = float64(e.latencyNS.Load()) / float64(s.Requests) / 1e3
+	}
+	return s
+}
+
+// EndpointSnapshot is one endpoint's counters at a point in time.
+type EndpointSnapshot struct {
+	// Requests is the number of requests handled, including failed ones.
+	Requests int64 `json:"requests"`
+	// Docs is the number of documents classified.
+	Docs int64 `json:"docs"`
+	// Bytes is the total document payload consumed.
+	Bytes int64 `json:"bytes"`
+	// Errors is the number of requests answered with a 4xx/5xx status.
+	Errors int64 `json:"errors"`
+	// AvgLatencyMicros is the mean request latency in microseconds.
+	AvgLatencyMicros float64 `json:"avg_latency_micros"`
+}
+
+// Snapshot is the full /statsz payload: a consistent-enough view of
+// the server's counters (each counter is individually atomic).
+type Snapshot struct {
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Backend names the membership backend serving requests.
+	Backend string `json:"backend"`
+	// Workers is the engine pool size used by /batch.
+	Workers int `json:"workers"`
+	// Languages is the served language inventory.
+	Languages []string `json:"languages"`
+	// Endpoints maps endpoint path to its counters.
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+}

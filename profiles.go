@@ -1,47 +1,36 @@
 package bloomlang
 
 import (
-	"bufio"
-	"errors"
-	"fmt"
 	"io"
 
 	"bloomlang/internal/core"
-	"bloomlang/internal/ngram"
 )
 
-// SaveProfiles serializes a trained profile set as a stream of
-// profiles in the compact binary format of internal/ngram. Only the
-// profiles travel; filter parameters (k, m) are chosen at load time,
-// mirroring the hardware where the same profile data programs any
-// filter shape.
-func SaveProfiles(w io.Writer, ps *ProfileSet) error {
-	for _, p := range ps.Profiles {
-		if _, err := p.WriteTo(w); err != nil {
-			return fmt.Errorf("bloomlang: saving profile %q: %w", p.Language, err)
-		}
-	}
-	return nil
+// SaveProfiles writes a trained profile set (configuration included)
+// to path atomically, in the format LoadProfiles reads. A daemon
+// restart then costs a file read instead of a training run.
+func SaveProfiles(ps *ProfileSet, path string) error {
+	return ps.SaveFile(path)
 }
 
-// LoadProfiles reads profiles saved by SaveProfiles and attaches the
-// given classifier configuration. The configuration's N is overridden
-// by the profiles' n-gram length.
-func LoadProfiles(r io.Reader, cfg Config) (*ProfileSet, error) {
-	br := bufio.NewReader(r)
-	ps := &ProfileSet{Config: cfg}
-	for {
-		p, err := ngram.ReadProfile(br)
-		if err != nil {
-			if errors.Is(err, io.EOF) && len(ps.Profiles) > 0 {
-				break
-			}
-			return nil, err
-		}
-		ps.Config.N = p.N
-		ps.Profiles = append(ps.Profiles, p)
-	}
-	return ps, nil
+// LoadProfiles reads a profile file written by SaveProfiles (or a
+// legacy bare-profile file from older cmd/langid builds), ready to
+// hand to NewClassifier or NewServer without re-training.
+func LoadProfiles(path string) (*ProfileSet, error) {
+	return core.LoadProfileSetFile(path)
+}
+
+// WriteProfiles serializes a profile set, configuration included, to a
+// stream.
+func WriteProfiles(w io.Writer, ps *ProfileSet) (int64, error) {
+	return ps.WriteTo(w)
+}
+
+// ReadProfiles deserializes a profile set written by WriteProfiles.
+// Legacy streams of bare profiles are read under the default
+// configuration.
+func ReadProfiles(r io.Reader) (*ProfileSet, error) {
+	return core.ReadProfileSet(r)
 }
 
 // DocumentStream classifies one document incrementally with bounded

@@ -2,18 +2,22 @@ package bloomlang
 
 import (
 	"bytes"
+	"path/filepath"
 	"testing"
 )
 
 func TestSaveLoadProfiles(t *testing.T) {
 	_, ps := fixtures(t)
-	var buf bytes.Buffer
-	if err := SaveProfiles(&buf, ps); err != nil {
+	path := filepath.Join(t.TempDir(), "profiles.bin")
+	if err := SaveProfiles(ps, path); err != nil {
 		t.Fatal(err)
 	}
-	back, err := LoadProfiles(&buf, DefaultConfig())
+	back, err := LoadProfiles(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if back.Config != ps.Config {
+		t.Errorf("config did not travel with profiles: %+v vs %+v", back.Config, ps.Config)
 	}
 	if len(back.Profiles) != len(ps.Profiles) {
 		t.Fatalf("loaded %d profiles, want %d", len(back.Profiles), len(ps.Profiles))
@@ -43,12 +47,30 @@ func TestSaveLoadProfiles(t *testing.T) {
 	}
 }
 
-func TestLoadProfilesErrors(t *testing.T) {
-	if _, err := LoadProfiles(bytes.NewReader(nil), DefaultConfig()); err == nil {
-		t.Error("LoadProfiles of empty stream succeeded")
+func TestWriteReadProfilesStream(t *testing.T) {
+	_, ps := fixtures(t)
+	var buf bytes.Buffer
+	if _, err := WriteProfiles(&buf, ps); err != nil {
+		t.Fatal(err)
 	}
-	if _, err := LoadProfiles(bytes.NewReader([]byte("garbage data")), DefaultConfig()); err == nil {
-		t.Error("LoadProfiles of garbage succeeded")
+	back, err := ReadProfiles(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Config != ps.Config || len(back.Profiles) != len(ps.Profiles) {
+		t.Errorf("stream round-trip mismatch: %+v", back.Config)
+	}
+}
+
+func TestReadProfilesErrors(t *testing.T) {
+	if _, err := ReadProfiles(bytes.NewReader(nil)); err == nil {
+		t.Error("ReadProfiles of empty stream succeeded")
+	}
+	if _, err := ReadProfiles(bytes.NewReader([]byte("garbage data"))); err == nil {
+		t.Error("ReadProfiles of garbage succeeded")
+	}
+	if _, err := LoadProfiles(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Error("LoadProfiles of missing file succeeded")
 	}
 }
 

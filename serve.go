@@ -1,0 +1,30 @@
+package bloomlang
+
+import (
+	"bloomlang/internal/serve"
+)
+
+// ServeConfig carries the serving-layer knobs: backend, batch worker
+// pool, and request/line/batch size limits.
+type ServeConfig = serve.Config
+
+// Server is the HTTP serving subsystem over a trained classifier; see
+// (*Server).Handler for the endpoint surface.
+type Server = serve.Server
+
+// Detection is one classified document in a serving response.
+type Detection = serve.Detection
+
+// ServeStats is the /statsz counter snapshot.
+type ServeStats = serve.Snapshot
+
+// NewServer builds the serving subsystem from trained profiles.
+func NewServer(ps *ProfileSet, cfg ServeConfig) (*Server, error) {
+	return serve.New(ps, cfg)
+}
+
+// NewServerFromClassifier wraps an already-built classifier in the
+// serving subsystem.
+func NewServerFromClassifier(clf *Classifier, cfg ServeConfig) *Server {
+	return serve.NewFromClassifier(clf, cfg)
+}
