@@ -36,13 +36,16 @@ type ProfileSet = core.ProfileSet
 // Profile is one language's ranked n-gram profile.
 type Profile = ngram.Profile
 
-// Result is a single-document classification outcome.
+// Result is a single-document classification outcome in the legacy
+// counter-centric form; new code should consume Match from a Detector.
 type Result = core.Result
 
 // Evaluation is an accuracy/confusion summary over a labelled test set.
 type Evaluation = core.Evaluation
 
 // Backend selects the membership structure used for match counting.
+// The set is open: RegisterBackend adds new ones, ParseBackend resolves
+// them by name.
 type Backend = core.Backend
 
 // Membership backends: the paper's Parallel Bloom Filter, HAIL-style
@@ -54,12 +57,74 @@ const (
 	BackendClassic = core.BackendClassic
 )
 
+// Matcher is one language's membership structure; implement it to
+// register a custom backend.
+type Matcher = core.Matcher
+
+// BackendBuilder constructs the Matcher for one language profile.
+type BackendBuilder = core.BackendBuilder
+
+// RegisterBackend adds a membership backend under a canonical name
+// plus optional parse aliases, returning the Backend that selects it.
+func RegisterBackend(name string, build BackendBuilder, aliases ...string) Backend {
+	return core.RegisterBackend(name, build, aliases...)
+}
+
+// ParseBackend resolves a backend by canonical name or alias
+// ("parallel-bloom"/"bloom", "direct-lookup"/"direct",
+// "classic-bloom"/"classic", plus anything registered). It is the
+// inverse of Backend.String.
+func ParseBackend(name string) (Backend, error) { return core.ParseBackend(name) }
+
+// Backends lists every registered backend's canonical name.
+func Backends() []string { return core.Backends() }
+
+// Detector is the single entry point for language detection: ranked
+// results, confidence scoring with explicit unknown outcomes, batch and
+// stream paths, and an allocation-free single-document hot path.
+type Detector = core.Detector
+
+// Match is one classified document: winning language, raw match count,
+// normalized confidence score and winner margin, or an explicit
+// Unknown outcome.
+type Match = core.Match
+
+// DetectorOption configures a Detector at construction.
+type DetectorOption = core.DetectorOption
+
+// NewDetector builds a detector over trained profiles. Options:
+// WithBackend, WithWorkers, WithMinMargin, WithMinNGrams.
+func NewDetector(ps *ProfileSet, opts ...DetectorOption) (*Detector, error) {
+	return core.NewDetector(ps, opts...)
+}
+
+// WithBackend selects the membership backend (default BackendBloom).
+func WithBackend(b Backend) DetectorOption { return core.WithBackend(b) }
+
+// WithWorkers bounds DetectBatch fan-out; n <= 0 means GOMAXPROCS.
+func WithWorkers(n int) DetectorOption { return core.WithWorkers(n) }
+
+// WithMinMargin makes Detect answer Unknown when the normalized winner
+// margin falls below m (0 accepts everything, including exact ties).
+func WithMinMargin(m float64) DetectorOption { return core.WithMinMargin(m) }
+
+// WithMinNGrams makes Detect answer Unknown for documents with fewer
+// than n testable n-grams.
+func WithMinNGrams(n int) DetectorOption { return core.WithMinNGrams(n) }
+
 // Classifier tests document n-grams against every language profile and
 // reports match counts (§3.2).
+//
+// Deprecated: use Detector, which adds ranked results, confidence
+// scoring and unknown thresholding over the same pipeline. Classifier
+// remains for raw per-language counts and the hardware simulator.
 type Classifier = core.Classifier
 
 // Engine runs a Classifier over document sets with a goroutine worker
 // pool.
+//
+// Deprecated: use (*Detector).DetectBatch for classification;
+// Engine remains for Evaluate/Measure-style corpus scoring.
 type Engine = core.Engine
 
 // Train builds per-language profiles from a corpus's training split.
@@ -75,12 +140,19 @@ func TrainFromTexts(cfg Config, texts map[string][][]byte) (*ProfileSet, error) 
 
 // NewClassifier builds a classifier over trained profiles with the
 // chosen membership backend.
+//
+// Deprecated: use NewDetector(ps, WithBackend(backend)); the detector
+// exposes the classifier via (*Detector).Classifier when raw counts
+// are needed.
 func NewClassifier(ps *ProfileSet, backend Backend) (*Classifier, error) {
 	return core.New(ps, backend)
 }
 
 // NewEngine wraps a classifier in a parallel document engine;
 // workers <= 0 means GOMAXPROCS.
+//
+// Deprecated: use NewDetector(ps, WithWorkers(n)) and
+// (*Detector).DetectBatch; NewEngine remains for corpus evaluation.
 func NewEngine(c *Classifier, workers int) *Engine {
 	return core.NewEngine(c, workers)
 }

@@ -50,6 +50,51 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDetectorFacade exercises the re-exported Detector surface: the
+// functional options, backend parsing, and agreement with the legacy
+// classifier path on confidently-decided documents.
+func TestDetectorFacade(t *testing.T) {
+	corp, ps := fixtures(t)
+	be, err := ParseBackend("bloom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(ps,
+		WithBackend(be),
+		WithWorkers(4),
+		WithMinMargin(0.001),
+		WithMinNGrams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := det.Backend().String(); got != "parallel-bloom" {
+		t.Errorf("backend = %q", got)
+	}
+	clf, err := NewClassifier(ps, BackendBloom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := corp.TestDocuments("")[:40]
+	matches := det.DetectBatch(docs)
+	decided := 0
+	for i, d := range docs {
+		legacy := clf.Classify(d.Text)
+		if legacy.Margin() == 0 {
+			continue
+		}
+		if matches[i].Unknown {
+			continue
+		}
+		decided++
+		if want := legacy.BestLanguage(clf.Languages()); matches[i].Lang != want {
+			t.Errorf("doc %d: detector %q, legacy %q", i, matches[i].Lang, want)
+		}
+	}
+	if decided == 0 {
+		t.Error("no confidently decided documents in the sample")
+	}
+}
+
 func TestSpaceEfficientConfig(t *testing.T) {
 	cfg := SpaceEfficientConfig()
 	if cfg.K != 6 || cfg.MBits != 4*1024 {

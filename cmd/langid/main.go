@@ -18,6 +18,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 
 	"bloomlang"
 )
@@ -125,7 +126,9 @@ func classify(args []string) {
 	k := fs.Int("k", 4, "hash functions per Bloom filter")
 	m := fs.Uint("m", 16*1024, "bits per Bloom filter vector (power of two)")
 	backend := fs.String("backend", "bloom", "membership backend: bloom, direct or classic")
-	verbose := fs.Bool("v", false, "print per-language match counts")
+	minMargin := fs.Float64("min-margin", 0, "answer unknown below this normalized winner margin")
+	minNGrams := fs.Int("min-ngrams", 1, "answer unknown below this many testable n-grams")
+	verbose := fs.Bool("v", false, "print the full language ranking")
 	fs.Parse(args)
 
 	ps, err := loadProfiles(*profilePath)
@@ -134,34 +137,44 @@ func classify(args []string) {
 	}
 	applyFilterFlags(fs, ps, *k, uint32(*m))
 
-	var be bloomlang.Backend
-	switch *backend {
-	case "bloom":
-		be = bloomlang.BackendBloom
-	case "direct":
-		be = bloomlang.BackendDirect
-	case "classic":
-		be = bloomlang.BackendClassic
-	default:
-		log.Fatalf("unknown backend %q", *backend)
+	be, err := bloomlang.ParseBackend(*backend)
+	if err != nil {
+		log.Fatal(err)
 	}
-	clf, err := bloomlang.NewClassifier(ps, be)
+	det, err := bloomlang.NewDetector(ps,
+		bloomlang.WithBackend(be),
+		bloomlang.WithMinMargin(*minMargin),
+		bloomlang.WithMinNGrams(*minNGrams))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	classifyOne := func(name string, text []byte) {
-		r := clf.Classify(text)
-		lang := r.BestLanguage(clf.Languages())
-		if lang == "" {
-			fmt.Printf("%s: (no n-grams)\n", name)
-			return
+		// One pipeline pass covers both outputs: the Result carries the
+		// per-language counts -v prints, and MatchResult scores it under
+		// the detector's thresholds.
+		res := det.Classifier().Classify(text)
+		match := det.MatchResult(res)
+		if match.Unknown {
+			fmt.Printf("%s: unknown (%d n-grams, score %.3f, margin %.3f)\n",
+				name, match.NGrams, match.Score, match.Margin)
+		} else {
+			fmt.Printf("%s: %s (%s), score %.3f, margin %.3f over %d n-grams\n",
+				name, match.Lang, bloomlang.LanguageName(match.Lang), match.Score, match.Margin, match.NGrams)
 		}
-		fmt.Printf("%s: %s (%s), margin %d of %d n-grams\n",
-			name, lang, bloomlang.LanguageName(lang), r.Margin(), r.NGrams)
 		if *verbose {
-			for i, l := range clf.Languages() {
-				fmt.Printf("  %-3s %6d\n", l, r.Counts[i])
+			langs := det.Languages()
+			order := make([]int, len(langs))
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool { return res.Counts[order[a]] > res.Counts[order[b]] })
+			for _, i := range order {
+				score := 0.0
+				if res.NGrams > 0 {
+					score = float64(res.Counts[i]) / float64(res.NGrams)
+				}
+				fmt.Printf("  %-3s %6d  score %.3f\n", langs[i], res.Counts[i], score)
 			}
 		}
 	}

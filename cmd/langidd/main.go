@@ -48,6 +48,8 @@ func main() {
 	savePath := flag.String("save", "", "write trained profiles to this file before serving")
 	backendName := flag.String("backend", "bloom", "membership backend: bloom, direct or classic")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	minMargin := flag.Float64("min-margin", 0, "answer unknown below this normalized winner margin")
+	minNGrams := flag.Int("min-ngrams", 1, "answer unknown below this many testable n-grams")
 	maxBody := flag.Int64("max-body", 10<<20, "max /detect and /batch body bytes")
 	maxBatch := flag.Int("max-batch", 1024, "max documents per /batch request")
 	maxLine := flag.Int("max-line", 1<<20, "max NDJSON line bytes on /stream")
@@ -55,7 +57,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	flag.Parse()
 
-	backend, err := parseBackend(*backendName)
+	backend, err := bloomlang.ParseBackend(*backendName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,6 +75,8 @@ func main() {
 	srv, err := bloomlang.NewServer(ps, bloomlang.ServeConfig{
 		Backend:       backend,
 		Workers:       *workers,
+		MinMargin:     *minMargin,
+		MinNGrams:     *minNGrams,
 		MaxBodyBytes:  *maxBody,
 		MaxBatchDocs:  *maxBatch,
 		MaxLineBytes:  *maxLine,
@@ -105,18 +109,6 @@ func main() {
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}
-}
-
-func parseBackend(name string) (bloomlang.Backend, error) {
-	switch name {
-	case "bloom":
-		return bloomlang.BackendBloom, nil
-	case "direct":
-		return bloomlang.BackendDirect, nil
-	case "classic":
-		return bloomlang.BackendClassic, nil
-	}
-	return 0, fmt.Errorf("unknown backend %q", name)
 }
 
 // loadOrTrain resolves the profile set from, in order of preference:

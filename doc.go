@@ -8,13 +8,56 @@
 //
 // # Quick start
 //
+// Detector is the single entry point for classification: train (or
+// load) profiles, build a detector, detect.
+//
 //	corp, _ := bloomlang.GenerateCorpus(bloomlang.CorpusConfig{
 //		DocsPerLanguage: 100, WordsPerDoc: 400, TrainFraction: 0.1, Seed: 1,
 //	})
 //	profiles, _ := bloomlang.Train(bloomlang.DefaultConfig(), corp)
-//	clf, _ := bloomlang.NewClassifier(profiles, bloomlang.BackendBloom)
-//	r := clf.Classify([]byte("el reglamento del consejo sobre la política agrícola"))
-//	fmt.Println(r.BestLanguage(clf.Languages())) // "es"
+//	det, _ := bloomlang.NewDetector(profiles)
+//	m := det.Detect([]byte("el reglamento del consejo sobre la política agrícola"))
+//	fmt.Println(m.Lang, m.Score, m.Margin) // "es 0.87 0.45"
+//
+// Every Match carries the winning language, the raw match count, the
+// normalized confidence score (Count/NGrams), and the §5.1 winner
+// margin — the quantity whose size over the Bloom false-positive noise
+// is why the paper's filters barely cost accuracy. Documents that
+// cannot be called confidently come back with Unknown set instead of a
+// silently tie-broken guess:
+//
+//	det, _ := bloomlang.NewDetector(profiles,
+//		bloomlang.WithBackend(bloomlang.BackendBloom), // or direct / classic
+//		bloomlang.WithWorkers(8),                      // DetectBatch fan-out
+//		bloomlang.WithMinMargin(0.02),                 // ties and near-ties -> Unknown
+//		bloomlang.WithMinNGrams(8),                    // short docs -> Unknown
+//	)
+//
+// Beyond one-shot Detect, the detector ranks candidates, fans out over
+// batches, and consumes streams:
+//
+//	ranked := det.Rank(doc, 3)                  // top-3 languages by match count
+//	matches := det.DetectBatch(docs)            // worker-pool, input order kept
+//	m, err := det.DetectReader(file)            // bounded memory
+//	st := det.NewStream()                       // incremental: Write chunks, then
+//	st.Write(chunk); m = st.Match()             // read the running decision
+//
+// The single-document hot path reuses per-call scratch from an internal
+// pool, so a warm Detect performs zero heap allocations (see
+// BenchmarkDetector).
+//
+// # Membership backends
+//
+// The membership structure is an open registry. Three ship built in:
+// the paper's Parallel Bloom Filter ("parallel-bloom"/"bloom"), HAIL's
+// exact direct lookup ("direct-lookup"/"direct"), and a classic
+// single-vector Bloom filter ("classic-bloom"/"classic").
+// ParseBackend resolves any registered name or alias (the CLIs' -backend
+// flag is exactly this), Backend.String round-trips it back, and
+// RegisterBackend plugs in new implementations:
+//
+//	fast := bloomlang.RegisterBackend("my-backend", myBuilder, "mine")
+//	det, _ := bloomlang.NewDetector(profiles, bloomlang.WithBackend(fast))
 //
 // # Architecture
 //
@@ -23,8 +66,9 @@
 //   - alphabet conversion (8-bit extended ASCII to 5-bit codes),
 //   - n-gram extraction and top-t profile training,
 //   - H3-hashed Parallel Bloom Filters (one per language),
-//   - a multi-language match-counting classifier with software
-//     (goroutine-parallel) and simulated-hardware execution paths,
+//   - the Detector: multi-language match counting with ranked results,
+//     confidence thresholding, batch (goroutine-parallel) and stream
+//     execution paths,
 //   - the XD1000 system model: HyperTransport link, DMA, command
 //     protocol, watchdog, and synchronous/asynchronous host drivers,
 //   - baselines: HAIL (direct SRAM lookup) and Cavnar-Trenkle rank
@@ -36,30 +80,53 @@
 // # Serving
 //
 // The serving subsystem (internal/serve, re-exported as NewServer)
-// turns a trained classifier into the document-stream service the
-// paper positions the hardware behind. The handler exposes:
+// routes all endpoints through one Detector. Responses carry the
+// score/margin/unknown fields; /statsz counts unknown-classified
+// documents separately per endpoint:
 //
 //	POST /detect   one raw document        -> one JSON detection
 //	POST /batch    JSON array of documents -> array of detections,
-//	               fanned out over the engine worker pool, input order
+//	               fanned out over the detector's workers, input order
 //	               preserved
 //	POST /stream   NDJSON documents        -> NDJSON detections,
 //	               classified incrementally with bounded memory, one
 //	               result line flushed per input line
 //	GET  /healthz  liveness probe
-//	GET  /statsz   request/byte/latency counters (atomic snapshot)
+//	GET  /statsz   request/byte/latency/unknown counters
 //
 // Trained profiles persist with SaveProfiles and come back with
 // LoadProfiles (configuration travels with the profiles), so a server
 // restart costs a file read instead of a training run:
 //
 //	profiles, _ := bloomlang.LoadProfiles("profiles.bin")
-//	srv, _ := bloomlang.NewServer(profiles, bloomlang.ServeConfig{})
+//	srv, _ := bloomlang.NewServer(profiles, bloomlang.ServeConfig{MinMargin: 0.02})
 //	http.ListenAndServe(":8080", srv.Handler())
 //
 // cmd/langidd is the production daemon around this handler: flags for
-// address, backend, worker pool, and body/batch/line limits, profile
-// loading (or training via -corpus / -synthetic, with -save), and
-// graceful drain on SIGINT/SIGTERM. examples/server walks the full
-// serving surface in one self-contained program.
+// address, backend, worker pool, confidence thresholds (-min-margin,
+// -min-ngrams), and body/batch/line limits, profile loading (or
+// training via -corpus / -synthetic, with -save), and graceful drain on
+// SIGINT/SIGTERM. examples/server walks the full serving surface in one
+// self-contained program.
+//
+// # Migrating from Classifier and Engine
+//
+// The pre-Detector entry points remain as thin deprecated wrappers;
+// each maps onto the Detector like so:
+//
+//	NewClassifier(ps, backend)   -> NewDetector(ps, WithBackend(backend))
+//	Classifier.Classify(doc)     -> Detector.Detect(doc)        (Match, not Result)
+//	Result.BestLanguage(langs)   -> Match.Lang                  ("" now means Unknown)
+//	Result.Margin()              -> Match.Margin                (normalized, float64)
+//	Result.Counts                -> Detector.Rank(doc, 0)       (ranked Matches)
+//	NewEngine(clf, n)            -> NewDetector(ps, WithWorkers(n))
+//	Engine.ClassifyAll(docs)     -> Detector.DetectBatch(docs)
+//	Classifier.NewStream()       -> Detector.NewStream()        (Match-producing)
+//	hand-rolled backend switch   -> ParseBackend(name)
+//
+// Raw per-language counts and corpus evaluation stay available through
+// (*Detector).Classifier and NewEngine (Evaluate/Measure); the
+// simulator keeps borrowing the classifier's Bloom filters, so
+// hardware-simulated and software classifications still agree
+// bit-for-bit.
 package bloomlang

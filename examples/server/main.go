@@ -64,7 +64,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv, err := bloomlang.NewServer(profiles, bloomlang.ServeConfig{})
+	// A 1% margin floor: near-ties come back unknown instead of guessed.
+	srv, err := bloomlang.NewServer(profiles, bloomlang.ServeConfig{MinMargin: 0.01})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,8 +85,8 @@ func main() {
 		log.Fatalf("/detect: %v", err)
 	}
 	resp.Body.Close()
-	fmt.Printf("/detect  -> %s (%s), margin %d of %d n-grams\n\n",
-		det.Language, det.Name, det.Margin, det.NGrams)
+	fmt.Printf("/detect  -> %s (%s), score %.2f, margin %.2f over %d n-grams\n\n",
+		det.Language, det.Name, det.Score, det.Margin, det.NGrams)
 
 	// A document set through /batch, classified by the worker pool.
 	batch, _ := json.Marshal([]string{
@@ -103,7 +104,7 @@ func main() {
 	}
 	resp.Body.Close()
 	for i, d := range dets {
-		fmt.Printf("/batch %d -> %s (%s)\n", i, d.Language, d.Name)
+		fmt.Printf("/batch %d -> %s (%s), score %.2f\n", i, d.Language, d.Name, d.Score)
 	}
 	fmt.Println()
 
@@ -142,9 +143,10 @@ func main() {
 		log.Fatalf("/statsz: %v", err)
 	}
 	resp.Body.Close()
-	fmt.Printf("stats: %d detect, %d batch docs, %d stream docs across %d languages\n",
+	fmt.Printf("stats: %d detect, %d batch docs, %d stream docs across %d languages (%d unknown)\n",
 		stats.Endpoints["/detect"].Docs,
 		stats.Endpoints["/batch"].Docs,
 		stats.Endpoints["/stream"].Docs,
-		len(stats.Languages))
+		len(stats.Languages),
+		stats.Endpoints["/detect"].Unknown+stats.Endpoints["/batch"].Unknown+stats.Endpoints["/stream"].Unknown)
 }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bloomlang/internal/bloom"
+	"bloomlang/internal/ngram"
+)
+
+// Matcher is one language's membership structure: it answers whether a
+// packed n-gram belongs to that language's profile. The paper's
+// Parallel Bloom Filter, HAIL's direct lookup table, and the classic
+// single-vector Bloom filter all implement it; external packages may
+// register additional implementations via RegisterBackend.
+type Matcher interface {
+	Test(g uint32) bool
+}
+
+// BackendBuilder constructs the Matcher for one language. index is the
+// language's position in the sorted profile set, so builders can derive
+// independent per-language seeds the way the hardware gives each
+// replica its own H3 matrices.
+type BackendBuilder func(cfg Config, index int, p *ngram.Profile) (Matcher, error)
+
+// backendEntry is one registered membership backend. The entry's slot
+// in the registry table is its Backend value, so the registry is an
+// open-ended extension of the original closed enum.
+type backendEntry struct {
+	name    string
+	aliases []string
+	build   BackendBuilder
+}
+
+var (
+	backendMu    sync.RWMutex
+	backendTable []backendEntry
+	backendIndex = map[string]Backend{} // canonical names and aliases
+)
+
+// RegisterBackend adds a membership backend under a canonical name plus
+// optional parse aliases, returning the Backend value that now selects
+// it. Registration panics on a duplicate or empty name — backends are
+// wired up in init functions, where a clash is a programming error.
+func RegisterBackend(name string, build BackendBuilder, aliases ...string) Backend {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if name == "" {
+		panic("core: RegisterBackend with empty name")
+	}
+	if build == nil {
+		panic("core: RegisterBackend with nil builder")
+	}
+	for _, n := range append([]string{name}, aliases...) {
+		if _, dup := backendIndex[n]; dup {
+			panic(fmt.Sprintf("core: backend name %q already registered", n))
+		}
+	}
+	b := Backend(len(backendTable))
+	backendTable = append(backendTable, backendEntry{name: name, aliases: aliases, build: build})
+	backendIndex[name] = b
+	for _, n := range aliases {
+		backendIndex[n] = b
+	}
+	return b
+}
+
+// ParseBackend resolves a backend by canonical name or alias. It is the
+// inverse of Backend.String: ParseBackend(b.String()) == b for every
+// registered backend.
+func ParseBackend(name string) (Backend, error) {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	if b, ok := backendIndex[name]; ok {
+		return b, nil
+	}
+	return 0, fmt.Errorf("core: unknown backend %q (have %v)", name, backendNamesLocked())
+}
+
+// Backends returns every registered backend's canonical name, sorted.
+func Backends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	names := backendNamesLocked()
+	sort.Strings(names)
+	return names
+}
+
+func backendNamesLocked() []string {
+	names := make([]string, len(backendTable))
+	for i, e := range backendTable {
+		names[i] = e.name
+	}
+	return names
+}
+
+// String names the backend for reports and round-trips through
+// ParseBackend.
+func (b Backend) String() string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	if int(b) >= 0 && int(b) < len(backendTable) {
+		return backendTable[b].name
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// builder returns the registered builder, or an error for a Backend
+// value that was never registered.
+func (b Backend) builder() (BackendBuilder, error) {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	if int(b) < 0 || int(b) >= len(backendTable) {
+		return nil, fmt.Errorf("core: unknown backend %d", int(b))
+	}
+	return backendTable[b].build, nil
+}
+
+// The built-in backends register in constant order so the registry
+// slots line up with the historical enum values.
+func init() {
+	bloomB := RegisterBackend("parallel-bloom", buildParallelBloom, "bloom")
+	directB := RegisterBackend("direct-lookup", buildDirectLookup, "direct")
+	classicB := RegisterBackend("classic-bloom", buildClassicBloom, "classic")
+	if bloomB != BackendBloom || directB != BackendDirect || classicB != BackendClassic {
+		panic("core: built-in backends registered out of order")
+	}
+}
+
+// buildParallelBloom is the paper's design: k H3 hashes into k
+// independent m-bit vectors per language (§3.1).
+func buildParallelBloom(cfg Config, index int, p *ngram.Profile) (Matcher, error) {
+	f, err := bloom.NewParallel(cfg.K, ngram.Bits(cfg.N), cfg.MBits, perLanguageSeed(cfg.Seed, index))
+	if err != nil {
+		return nil, err
+	}
+	f.ProgramAll(p.Grams)
+	return f, nil
+}
+
+// buildDirectLookup is HAIL's design: an exact membership bitset over
+// the packed n-gram space.
+func buildDirectLookup(cfg Config, index int, p *ngram.Profile) (Matcher, error) {
+	t := newDirectTable(ngram.Bits(cfg.N))
+	for _, g := range p.Grams {
+		t.add(g)
+	}
+	return t, nil
+}
+
+// buildClassicBloom is the ablation: one k·m-bit vector shared by all k
+// hash functions.
+func buildClassicBloom(cfg Config, index int, p *ngram.Profile) (Matcher, error) {
+	f, err := bloom.NewClassic(cfg.K, ngram.Bits(cfg.N), cfg.MBits*uint32(cfg.K), perLanguageSeed(cfg.Seed, index))
+	if err != nil {
+		return nil, err
+	}
+	f.ProgramAll(p.Grams)
+	return f, nil
+}
+
+// perLanguageSeed offsets the configured seed per language so filters
+// are independent, as in hardware where each replica has its own H3
+// matrices.
+func perLanguageSeed(seed int64, index int) int64 {
+	return seed + int64(index)*1000003
+}

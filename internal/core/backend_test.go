@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bloomlang/internal/ngram"
+)
+
+// TestBackendStringParseRoundTrip pins the registry contract the CLIs
+// rely on: every registered backend's String() parses back to itself,
+// and the historical aliases keep working.
+func TestBackendStringParseRoundTrip(t *testing.T) {
+	for _, b := range []Backend{BackendBloom, BackendDirect, BackendClassic} {
+		got, err := ParseBackend(b.String())
+		if err != nil {
+			t.Fatalf("ParseBackend(%q): %v", b.String(), err)
+		}
+		if got != b {
+			t.Errorf("ParseBackend(%q) = %v, want %v", b.String(), got, b)
+		}
+	}
+	aliases := map[string]Backend{
+		"bloom":   BackendBloom,
+		"direct":  BackendDirect,
+		"classic": BackendClassic,
+	}
+	for name, want := range aliases {
+		got, err := ParseBackend(name)
+		if err != nil {
+			t.Fatalf("ParseBackend(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("ParseBackend(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParseBackendUnknownNameListsChoices(t *testing.T) {
+	_, err := ParseBackend("fpga")
+	if err == nil {
+		t.Fatal("ParseBackend accepted an unknown name")
+	}
+	if !strings.Contains(err.Error(), "parallel-bloom") {
+		t.Errorf("error %q does not list known backends", err)
+	}
+}
+
+func TestBackendsListsCanonicalNames(t *testing.T) {
+	names := Backends()
+	want := map[string]bool{"parallel-bloom": false, "direct-lookup": false, "classic-bloom": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("Backends() = %v is missing %q", names, n)
+		}
+	}
+}
+
+func TestBackendStringUnregisteredValue(t *testing.T) {
+	if got := Backend(9999).String(); got != "backend(9999)" {
+		t.Errorf("String() = %q", got)
+	}
+	if _, err := New(&ProfileSet{Config: DefaultConfig(), Profiles: trainMini(t, Config{TopT: 500}).Profiles}, Backend(9999)); err == nil {
+		t.Error("New accepted an unregistered backend")
+	}
+}
+
+// acceptAll matches every n-gram — a degenerate membership structure
+// that exists only to prove third-party backends plug in.
+type acceptAll struct{}
+
+func (acceptAll) Test(uint32) bool { return true }
+
+func TestRegisterBackendExtendsClassifier(t *testing.T) {
+	b := RegisterBackend("test-accept-all", func(cfg Config, index int, p *ngram.Profile) (Matcher, error) {
+		return acceptAll{}, nil
+	}, "accept")
+	if got, err := ParseBackend("accept"); err != nil || got != b {
+		t.Fatalf("ParseBackend(alias) = %v, %v", got, err)
+	}
+	if b.String() != "test-accept-all" {
+		t.Fatalf("String() = %q", b.String())
+	}
+	ps := trainMini(t, Config{TopT: 500})
+	det, err := NewDetector(ps, WithBackend(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte("the registry must accept custom membership structures")
+	m := det.Detect(doc)
+	// Every language matches every n-gram, so the winner is an exact tie
+	// broken to the first language, with score 1.
+	if m.Unknown || m.Score != 1 || m.Count != m.NGrams {
+		t.Errorf("accept-all detect = %+v", m)
+	}
+	if m.Lang != det.Languages()[0] {
+		t.Errorf("tie broke to %q, want first language %q", m.Lang, det.Languages()[0])
+	}
+}
+
+func TestRegisterBackendRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	RegisterBackend("parallel-bloom", func(cfg Config, index int, p *ngram.Profile) (Matcher, error) {
+		return acceptAll{}, nil
+	})
+}

@@ -163,12 +163,9 @@ func (ps *ProfileSet) Languages() []string {
 	return langs
 }
 
-// matcher is the per-language membership backend.
-type matcher interface {
-	Test(g uint32) bool
-}
-
-// Backend selects the membership structure a Classifier uses.
+// Backend selects the membership structure a Classifier uses. The
+// built-in values below are registered in backend.go; additional
+// backends can be added at init time with RegisterBackend.
 type Backend int
 
 const (
@@ -180,19 +177,6 @@ const (
 	// same total bit budget (k·m bits) as the parallel variant.
 	BackendClassic
 )
-
-// String names the backend for reports.
-func (b Backend) String() string {
-	switch b {
-	case BackendBloom:
-		return "parallel-bloom"
-	case BackendDirect:
-		return "direct-lookup"
-	case BackendClassic:
-		return "classic-bloom"
-	}
-	return fmt.Sprintf("backend(%d)", int(b))
-}
 
 // directTable is an exact membership bitset over the packed n-gram
 // space, the software equivalent of HAIL's off-chip SRAM table.
@@ -214,8 +198,13 @@ type Classifier struct {
 	cfg      Config
 	backend  Backend
 	langs    []string
-	matchers []matcher
-	filters  []*bloom.Parallel // non-nil iff backend == BackendBloom
+	matchers []Matcher
+	filters  []*bloom.Parallel // non-nil iff every matcher is a Parallel Bloom Filter
+	// extractor is the prototype n-gram extractor, configured once at
+	// construction. It is never fed directly: the hot paths copy it by
+	// value, giving every call (and every worker) its own sliding-window
+	// state without a per-call allocation.
+	extractor ngram.Extractor
 }
 
 // New builds a classifier over the profile set with the chosen backend.
@@ -228,41 +217,39 @@ func New(ps *ProfileSet, backend Backend) (*Classifier, error) {
 	if len(ps.Profiles) == 0 {
 		return nil, fmt.Errorf("core: empty profile set")
 	}
+	build, err := backend.builder()
+	if err != nil {
+		return nil, err
+	}
 	c := &Classifier{cfg: cfg, backend: backend}
-	inputBits := ngram.Bits(cfg.N)
+	e, err := ngram.NewExtractor(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Subsample > 1 {
+		if err := e.SetSubsample(cfg.Subsample); err != nil {
+			return nil, err
+		}
+	}
+	c.extractor = *e
 	for i, p := range ps.Profiles {
 		if p.N != cfg.N {
 			return nil, fmt.Errorf("core: profile %q has n=%d, config has n=%d", p.Language, p.N, cfg.N)
 		}
 		c.langs = append(c.langs, p.Language)
-		switch backend {
-		case BackendBloom:
-			// Each language gets its own filter; seeds are offset per
-			// language so filters are independent, as in hardware where
-			// each replica has its own H3 matrices.
-			f, err := bloom.NewParallel(cfg.K, inputBits, cfg.MBits, cfg.Seed+int64(i)*1000003)
-			if err != nil {
-				return nil, err
-			}
-			f.ProgramAll(p.Grams)
-			c.matchers = append(c.matchers, f)
-			c.filters = append(c.filters, f)
-		case BackendDirect:
-			t := newDirectTable(inputBits)
-			for _, g := range p.Grams {
-				t.add(g)
-			}
-			c.matchers = append(c.matchers, t)
-		case BackendClassic:
-			f, err := bloom.NewClassic(cfg.K, inputBits, cfg.MBits*uint32(cfg.K), cfg.Seed+int64(i)*1000003)
-			if err != nil {
-				return nil, err
-			}
-			f.ProgramAll(p.Grams)
-			c.matchers = append(c.matchers, f)
-		default:
-			return nil, fmt.Errorf("core: unknown backend %d", backend)
+		m, err := build(cfg, i, p)
+		if err != nil {
+			return nil, err
 		}
+		c.matchers = append(c.matchers, m)
+		if f, ok := m.(*bloom.Parallel); ok {
+			c.filters = append(c.filters, f)
+		}
+	}
+	// The XD1000 simulator borrows per-language Parallel Bloom Filters;
+	// expose them only when every language has one.
+	if len(c.filters) != len(c.matchers) {
+		c.filters = nil
 	}
 	return c, nil
 }
@@ -331,19 +318,26 @@ func (c *Classifier) Classify(doc []byte) Result {
 
 // ExtractGrams translates and extracts the document's packed n-grams
 // into dst (which may be nil), honouring the configured subsampling.
+// The extractor state is a value copy of the construction-time
+// prototype, so concurrent calls share nothing and nothing is
+// allocated beyond dst growth.
 func (c *Classifier) ExtractGrams(dst []uint32, doc []byte) []uint32 {
-	e, err := ngram.NewExtractor(c.cfg.N)
-	if err != nil {
-		// Config was validated at construction; this is unreachable.
-		panic(err)
-	}
-	if c.cfg.Subsample > 1 {
-		if err := e.SetSubsample(c.cfg.Subsample); err != nil {
-			panic(err)
-		}
-	}
+	e := c.extractor
 	codes := alphabet.TranslateAll(doc)
 	return e.Feed(dst, codes)
+}
+
+// extractInto is the allocation-free extraction path: it translates doc
+// into the reusable codes buffer (grown only when too small) and
+// appends the packed n-grams to dst. Both slices come back for reuse.
+func (c *Classifier) extractInto(dst []uint32, codes []alphabet.Code, doc []byte) ([]uint32, []alphabet.Code) {
+	if cap(codes) < len(doc) {
+		codes = make([]alphabet.Code, len(doc))
+	}
+	codes = codes[:len(doc)]
+	alphabet.TranslateInto(codes, doc)
+	e := c.extractor
+	return e.Feed(dst, codes), codes
 }
 
 // ClassifyGrams counts matches for pre-extracted n-grams. This is the
@@ -351,6 +345,14 @@ func (c *Classifier) ExtractGrams(dst []uint32, doc []byte) []uint32 {
 // every language's filter and counters are incremented on match.
 func (c *Classifier) ClassifyGrams(gs []uint32) Result {
 	r := Result{Counts: make([]int, len(c.matchers)), NGrams: len(gs), Best: -1, Second: -1}
+	c.countInto(r.Counts, gs)
+	r.selectWinners()
+	return r
+}
+
+// countInto runs the match-counting inner loop into a caller-owned
+// counts slice (len(Languages())), allocating nothing.
+func (c *Classifier) countInto(counts []int, gs []uint32) {
 	for i, m := range c.matchers {
 		count := 0
 		for _, g := range gs {
@@ -358,25 +360,31 @@ func (c *Classifier) ClassifyGrams(gs []uint32) Result {
 				count++
 			}
 		}
-		r.Counts[i] = count
+		counts[i] = count
 	}
-	r.selectWinners()
-	return r
 }
 
 func (r *Result) selectWinners() {
 	if r.NGrams == 0 {
 		return
 	}
-	best, second := -1, -1
-	for i, n := range r.Counts {
+	r.Best, r.Second = winners(r.Counts)
+}
+
+// winners returns the indices of the highest and second-highest counts.
+// Ties break towards the lower index (the lexicographically earlier
+// language, since profiles are sorted by code). second is -1 when there
+// is only one language.
+func winners(counts []int) (best, second int) {
+	best, second = -1, -1
+	for i, n := range counts {
 		switch {
-		case best == -1 || n > r.Counts[best]:
+		case best == -1 || n > counts[best]:
 			second = best
 			best = i
-		case second == -1 || n > r.Counts[second]:
+		case second == -1 || n > counts[second]:
 			second = i
 		}
 	}
-	r.Best, r.Second = best, second
+	return best, second
 }

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"bloomlang/internal/alphabet"
+	"bloomlang/internal/corpus"
+)
+
+// Match is one classified document: the winning language with a
+// normalized confidence score and winner margin, or an explicit Unknown
+// outcome when the document cannot be called confidently. It is the
+// unit every Detector method returns.
+type Match struct {
+	// Lang is the winning language code, or "" when Unknown.
+	Lang string
+	// Count is the winner's raw match count — how many of the
+	// document's n-grams hit the winning language's profile.
+	Count int
+	// NGrams is the number of n-grams tested.
+	NGrams int
+	// Score is the normalized confidence Count/NGrams in [0,1]: the
+	// fraction of document n-grams found in the winner's profile.
+	Score float64
+	// Margin is the winner's normalized lead over the runner-up,
+	// (bestCount − secondCount)/NGrams — the §5.1 winner margin that
+	// makes the classifier robust to Bloom filter false positives. With
+	// a single trained language there is no runner-up and Margin equals
+	// Score.
+	Margin float64
+	// Unknown reports that no language was called: the document had
+	// fewer n-grams than MinNGrams (an empty document has zero), or the
+	// margin fell below MinMargin (an exact tie has margin 0). Count,
+	// NGrams, Score and Margin still describe the would-be winner for
+	// diagnostics; Lang is "".
+	Unknown bool
+}
+
+// detectorOptions collects the functional-option state for NewDetector.
+type detectorOptions struct {
+	backend   Backend
+	workers   int
+	minMargin float64
+	minNGrams int
+}
+
+// DetectorOption configures a Detector at construction.
+type DetectorOption func(*detectorOptions)
+
+// WithBackend selects the membership backend (default BackendBloom).
+// Ignored by NewDetectorFromClassifier, where the classifier already
+// fixed the backend.
+func WithBackend(b Backend) DetectorOption {
+	return func(o *detectorOptions) { o.backend = b }
+}
+
+// WithWorkers bounds DetectBatch fan-out; n <= 0 means GOMAXPROCS.
+func WithWorkers(n int) DetectorOption {
+	return func(o *detectorOptions) { o.workers = n }
+}
+
+// WithMinMargin makes Detect return Unknown when the normalized winner
+// margin falls below m. The default 0 accepts everything, including
+// exact ties (broken towards the lexicographically earlier language, as
+// the legacy Classifier did); any positive threshold turns ties into
+// explicit Unknown outcomes.
+func WithMinMargin(m float64) DetectorOption {
+	return func(o *detectorOptions) { o.minMargin = m }
+}
+
+// WithMinNGrams makes Detect return Unknown for documents with fewer
+// than n testable n-grams. The effective minimum is 1: a document with
+// no n-grams at all is always Unknown.
+func WithMinNGrams(n int) DetectorOption {
+	return func(o *detectorOptions) { o.minNGrams = n }
+}
+
+// Detector is the single entry point for language detection: it owns a
+// classifier, a worker bound for batch work, the unknown-thresholding
+// policy, and reusable per-call scratch buffers, so the one-document
+// hot path allocates nothing after warm-up. A Detector is safe for
+// concurrent use by any number of goroutines.
+type Detector struct {
+	clf       *Classifier
+	workers   int
+	minMargin float64
+	minNGrams int
+	pool      sync.Pool // of *scratch
+}
+
+// scratch is the per-call working set: the translated-code buffer, the
+// extracted n-gram buffer, and the per-language counters. Detect
+// borrows one from the pool and returns it, so a warm Detector's hot
+// path performs zero allocations.
+type scratch struct {
+	codes  []alphabet.Code
+	grams  []uint32
+	counts []int
+}
+
+// NewDetector builds a detector over trained profiles.
+func NewDetector(ps *ProfileSet, opts ...DetectorOption) (*Detector, error) {
+	o := gatherOptions(opts)
+	clf, err := New(ps, o.backend)
+	if err != nil {
+		return nil, err
+	}
+	return newDetector(clf, o), nil
+}
+
+// NewDetectorFromClassifier wraps an existing classifier; WithBackend
+// is ignored in favour of the classifier's own backend.
+func NewDetectorFromClassifier(clf *Classifier, opts ...DetectorOption) *Detector {
+	return newDetector(clf, gatherOptions(opts))
+}
+
+func gatherOptions(opts []DetectorOption) detectorOptions {
+	o := detectorOptions{backend: BackendBloom}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers <= 0 {
+		o.workers = runtime.GOMAXPROCS(0)
+	}
+	if o.minNGrams < 1 {
+		o.minNGrams = 1
+	}
+	if o.minMargin < 0 {
+		o.minMargin = 0
+	}
+	return o
+}
+
+func newDetector(clf *Classifier, o detectorOptions) *Detector {
+	d := &Detector{
+		clf:       clf,
+		workers:   o.workers,
+		minMargin: o.minMargin,
+		minNGrams: o.minNGrams,
+	}
+	nLangs := len(clf.langs)
+	d.pool.New = func() any { return &scratch{counts: make([]int, nLangs)} }
+	return d
+}
+
+// Classifier returns the underlying classifier (for the simulator,
+// evaluation, and migration paths).
+func (d *Detector) Classifier() *Classifier { return d.clf }
+
+// Languages returns the detector's language inventory in rank order.
+func (d *Detector) Languages() []string { return d.clf.Languages() }
+
+// Config returns the effective classifier configuration.
+func (d *Detector) Config() Config { return d.clf.Config() }
+
+// Backend returns the membership backend in use.
+func (d *Detector) Backend() Backend { return d.clf.Backend() }
+
+// Workers returns the DetectBatch fan-out bound.
+func (d *Detector) Workers() int { return d.workers }
+
+// MinMargin returns the unknown-thresholding margin floor.
+func (d *Detector) MinMargin() float64 { return d.minMargin }
+
+// MinNGrams returns the minimum testable n-grams for a known outcome.
+func (d *Detector) MinNGrams() int { return d.minNGrams }
+
+// Detect classifies one raw ISO-8859-1 document: alphabet translation,
+// n-gram extraction, membership counting, winner selection, and
+// unknown thresholding. All working memory comes from the detector's
+// scratch pool, so a warm call allocates nothing.
+func (d *Detector) Detect(doc []byte) Match {
+	s := d.pool.Get().(*scratch)
+	m := d.detectInto(s, doc)
+	d.pool.Put(s)
+	return m
+}
+
+func (d *Detector) detectInto(s *scratch, doc []byte) Match {
+	s.grams, s.codes = d.clf.extractInto(s.grams[:0], s.codes, doc)
+	d.clf.countInto(s.counts, s.grams)
+	return d.match(s.counts, len(s.grams))
+}
+
+// match applies winner selection and the unknown policy to a finished
+// set of per-language counters.
+func (d *Detector) match(counts []int, ngrams int) Match {
+	m := Match{NGrams: ngrams}
+	if ngrams == 0 {
+		m.Unknown = true
+		return m
+	}
+	best, second := winners(counts)
+	m.Count = counts[best]
+	m.Score = float64(m.Count) / float64(ngrams)
+	if second >= 0 {
+		m.Margin = float64(counts[best]-counts[second]) / float64(ngrams)
+	} else {
+		m.Margin = m.Score
+	}
+	if ngrams < d.minNGrams || m.Margin < d.minMargin {
+		m.Unknown = true
+		return m
+	}
+	m.Lang = d.clf.langs[best]
+	return m
+}
+
+// MatchResult converts a legacy Result into a Match under this
+// detector's thresholding policy — the bridge for callers migrating
+// from Classifier.Classify.
+func (d *Detector) MatchResult(r Result) Match {
+	return d.match(r.Counts, r.NGrams)
+}
+
+// Rank returns the top k languages by match count, best first; k <= 0
+// (or k beyond the language count) means all. Ties order by language
+// code, matching Detect's tie-break. Each entry's Margin is its
+// normalized lead over the next-ranked entry (the entry's whole Score
+// for the last one). Rank reports the raw ranking: the unknown policy
+// applies to Detect, not to the list.
+func (d *Detector) Rank(doc []byte, k int) []Match {
+	s := d.pool.Get().(*scratch)
+	s.grams, s.codes = d.clf.extractInto(s.grams[:0], s.codes, doc)
+	d.clf.countInto(s.counts, s.grams)
+	ms := d.rankCounts(s.counts, len(s.grams), k)
+	d.pool.Put(s)
+	return ms
+}
+
+func (d *Detector) rankCounts(counts []int, ngrams, k int) []Match {
+	n := len(counts)
+	if k <= 0 || k > n {
+		k = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Stable sort on strict descending count keeps equal-count languages
+	// in index (lexicographic) order.
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	ms := make([]Match, k)
+	for pos := 0; pos < k; pos++ {
+		i := order[pos]
+		m := Match{Lang: d.clf.langs[i], Count: counts[i], NGrams: ngrams}
+		if ngrams > 0 {
+			m.Score = float64(counts[i]) / float64(ngrams)
+			if pos+1 < n {
+				m.Margin = float64(counts[i]-counts[order[pos+1]]) / float64(ngrams)
+			} else {
+				m.Margin = m.Score
+			}
+		}
+		ms[pos] = m
+	}
+	return ms
+}
+
+// DetectBatch classifies every document over the detector's worker
+// pool, preserving input order — the document-level parallelism of the
+// paper's hardware, with each worker holding one scratch set for the
+// whole batch.
+func (d *Detector) DetectBatch(docs []corpus.Document) []Match {
+	out := make([]Match, len(docs))
+	if len(docs) == 0 {
+		return out
+	}
+	workers := d.workers
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := d.pool.Get().(*scratch)
+			for i := range next {
+				out[i] = d.detectInto(s, docs[i].Text)
+			}
+			d.pool.Put(s)
+		}()
+	}
+	for i := range docs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// DetectReader classifies a document streamed from r with bounded
+// memory: chunks feed the incremental stream path, nothing buffers the
+// whole document.
+func (d *Detector) DetectReader(r io.Reader) (Match, error) {
+	st := d.NewStream()
+	if _, err := io.Copy(st, r); err != nil {
+		return Match{Unknown: true}, err
+	}
+	return st.Match(), nil
+}
+
+// Stream classifies one document incrementally under the detector's
+// policy: bytes arrive in arbitrary chunks via Write, and Match reports
+// the decision over everything written so far. Reset starts the next
+// document. A Stream is not safe for concurrent use; create one per
+// goroutine.
+type Stream struct {
+	d  *Detector
+	ds *DocumentStream
+}
+
+// NewStream starts an empty document stream on the detector.
+func (d *Detector) NewStream() *Stream {
+	return &Stream{d: d, ds: d.clf.NewStream()}
+}
+
+// Write feeds the next chunk. It never fails; the error satisfies
+// io.Writer.
+func (s *Stream) Write(p []byte) (int, error) { return s.ds.Write(p) }
+
+// Match returns the detection over everything written so far; the
+// stream stays usable for more chunks.
+func (s *Stream) Match() Match { return s.d.match(s.ds.counts, s.ds.ngrams) }
+
+// Result returns the legacy per-language counter view of the stream,
+// for callers that need raw counts alongside the Match.
+func (s *Stream) Result() Result { return s.ds.Result() }
+
+// Reset prepares the stream for a new document.
+func (s *Stream) Reset() { s.ds.Reset() }

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation adds bookkeeping allocations that break strict
+// allocation accounting.
+const raceEnabled = true

@@ -22,20 +22,14 @@ type DocumentStream struct {
 	grams  []uint32
 }
 
-// NewStream starts an empty document stream on the classifier.
+// NewStream starts an empty document stream on the classifier. The
+// extractor is a value copy of the classifier's prototype, so streams
+// are independent of each other and of the one-shot paths.
 func (c *Classifier) NewStream() *DocumentStream {
-	e, err := ngram.NewExtractor(c.cfg.N)
-	if err != nil {
-		panic(err) // config validated at construction
-	}
-	if c.cfg.Subsample > 1 {
-		if err := e.SetSubsample(c.cfg.Subsample); err != nil {
-			panic(err)
-		}
-	}
+	e := c.extractor
 	return &DocumentStream{
 		c:      c,
-		e:      e,
+		e:      &e,
 		counts: make([]int, len(c.matchers)),
 	}
 }

@@ -12,11 +12,12 @@
 //	GET  /healthz  liveness probe                 -> 200 "ok"
 //	GET  /statsz   request/byte/latency counters  -> JSON Snapshot
 //
-// Batch requests fan out through the engine's worker pool
-// (document-level parallelism, the software analogue of the paper's
-// parallel document processing); stream requests are classified
-// incrementally with bounded memory via core.DocumentStream, one
-// result line flushed per input line. The classifier's membership
+// All endpoints route through one core.Detector: batch requests fan
+// out over its worker pool (document-level parallelism, the software
+// analogue of the paper's parallel document processing), stream
+// requests are classified incrementally with bounded memory via its
+// stream path, and every response carries the detector's normalized
+// score, winner margin, and explicit unknown outcome. The membership
 // structures are read-only after construction, so all endpoints serve
 // concurrent traffic without locking.
 package serve
@@ -40,6 +41,13 @@ type Config struct {
 	Backend core.Backend
 	// Workers bounds /batch fan-out; 0 means GOMAXPROCS.
 	Workers int
+	// MinMargin is the normalized winner-margin floor below which a
+	// document is answered as unknown (language ""); default 0 accepts
+	// everything but exact-empty documents.
+	MinMargin float64
+	// MinNGrams is the minimum testable n-grams for a known outcome;
+	// effective minimum 1.
+	MinNGrams int
 	// MaxBodyBytes caps /detect and /batch request bodies; default 10 MiB.
 	// /stream is unbounded in total size by design and bounded per line
 	// instead.
@@ -66,12 +74,11 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// Server owns a classifier, an engine, and the serving counters. It is
-// safe for concurrent use by any number of connections.
+// Server owns a detector and the serving counters. It is safe for
+// concurrent use by any number of connections.
 type Server struct {
 	cfg   Config
-	clf   *core.Classifier
-	eng   *core.Engine
+	det   *core.Detector
 	start time.Time
 
 	detect  endpointStats
@@ -97,15 +104,20 @@ func NewFromClassifier(clf *core.Classifier, cfg Config) *Server {
 	cfg.applyDefaults()
 	cfg.Backend = clf.Backend()
 	return &Server{
-		cfg:   cfg,
-		clf:   clf,
-		eng:   core.NewEngine(clf, cfg.Workers),
+		cfg: cfg,
+		det: core.NewDetectorFromClassifier(clf,
+			core.WithWorkers(cfg.Workers),
+			core.WithMinMargin(cfg.MinMargin),
+			core.WithMinNGrams(cfg.MinNGrams)),
 		start: time.Now(),
 	}
 }
 
+// Detector returns the detector serving requests.
+func (s *Server) Detector() *core.Detector { return s.det }
+
 // Classifier returns the classifier serving requests.
-func (s *Server) Classifier() *core.Classifier { return s.clf }
+func (s *Server) Classifier() *core.Classifier { return s.det.Classifier() }
 
 // Handler returns the service mux.
 func (s *Server) Handler() http.Handler {
@@ -122,9 +134,11 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Stats() Snapshot {
 	return Snapshot{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Backend:       s.clf.Backend().String(),
-		Workers:       s.eng.Workers(),
-		Languages:     s.clf.Languages(),
+		Backend:       s.det.Backend().String(),
+		Workers:       s.det.Workers(),
+		MinMargin:     s.det.MinMargin(),
+		MinNGrams:     s.det.MinNGrams(),
+		Languages:     s.det.Languages(),
 		Endpoints: map[string]EndpointSnapshot{
 			"/detect":  s.detect.snapshot(),
 			"/batch":   s.batch.snapshot(),
@@ -180,35 +194,51 @@ func (s *Server) measure(st *endpointStats, method string, h func(http.ResponseW
 type Detection struct {
 	// ID echoes the request document's id, when one was given.
 	ID string `json:"id,omitempty"`
-	// Language is the winning language code, or "" when the document
-	// contained no n-grams.
+	// Language is the winning language code, or "" when the detection
+	// is unknown (no n-grams, or below the confidence thresholds).
 	Language string `json:"language"`
 	// Name is the English language name, when known.
 	Name string `json:"name,omitempty"`
 	// NGrams is the number of n-grams tested.
 	NGrams int `json:"ngrams"`
-	// Margin is the winner's match-count lead over the runner-up.
-	Margin int `json:"margin"`
+	// Count is the winner's raw match count.
+	Count int `json:"count"`
+	// Score is the normalized confidence Count/NGrams in [0,1].
+	Score float64 `json:"score"`
+	// Margin is the winner's normalized lead over the runner-up.
+	Margin float64 `json:"margin"`
+	// Unknown reports that no language cleared the confidence
+	// thresholds; Language is "" and the numbers describe the would-be
+	// winner.
+	Unknown bool `json:"unknown,omitempty"`
 	// Counts holds per-language match counts, when requested.
 	Counts map[string]int `json:"counts,omitempty"`
 	// Error reports a per-document failure on /stream.
 	Error string `json:"error,omitempty"`
 }
 
-func (s *Server) detection(id string, r core.Result, withCounts bool) Detection {
-	langs := s.clf.Languages()
+// detection converts a Match into the wire shape, attaching per-language
+// counts when given and bumping the endpoint's unknown counter.
+func (s *Server) detection(id string, m core.Match, counts []int, st *endpointStats) Detection {
 	d := Detection{
 		ID:       id,
-		Language: r.BestLanguage(langs),
-		NGrams:   r.NGrams,
-		Margin:   r.Margin(),
+		Language: m.Lang,
+		Name:     corpus.Name(m.Lang),
+		NGrams:   m.NGrams,
+		Count:    m.Count,
+		Score:    m.Score,
+		Margin:   m.Margin,
+		Unknown:  m.Unknown,
 	}
-	d.Name = corpus.Name(d.Language)
-	if withCounts {
+	if counts != nil {
+		langs := s.det.Languages()
 		d.Counts = make(map[string]int, len(langs))
 		for i, l := range langs {
-			d.Counts[l] = r.Counts[i]
+			d.Counts[l] = counts[i]
 		}
+	}
+	if m.Unknown {
+		st.unknown.Add(1)
 	}
 	return d
 }
@@ -220,13 +250,16 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request, st *endpoi
 		return
 	}
 	st.bytes.Add(int64(len(body)))
-	res := s.clf.Classify(body)
-	if res.Best < 0 {
+	// /detect always reports per-language counts, so it takes the
+	// Result-carrying path and scores it under the detector's policy.
+	res := s.det.Classifier().Classify(body)
+	m := s.det.MatchResult(res)
+	if m.NGrams == 0 {
 		http.Error(w, "document too short to classify", http.StatusUnprocessableEntity)
 		return
 	}
 	st.docs.Add(1)
-	writeJSON(w, s.detection("", res, true))
+	writeJSON(w, s.detection("", m, res.Counts, st))
 }
 
 // batchDoc accepts either a bare JSON string or {"id": ..., "text": ...}.
@@ -272,11 +305,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, st *endpoin
 		bytes += int64(len(d.Text))
 	}
 	st.bytes.Add(bytes)
-	results := s.eng.ClassifyAll(docs)
-	st.docs.Add(int64(len(results)))
-	out := make([]Detection, len(results))
-	for i, res := range results {
-		out[i] = s.detection(reqDocs[i].ID, res, s.cfg.IncludeCounts)
+	st.docs.Add(int64(len(docs)))
+	out := make([]Detection, len(docs))
+	if s.cfg.IncludeCounts {
+		// Counts requested: run the Result-carrying engine path and
+		// score each result under the detector's policy.
+		results := core.NewEngine(s.det.Classifier(), s.det.Workers()).ClassifyAll(docs)
+		for i, res := range results {
+			out[i] = s.detection(reqDocs[i].ID, s.det.MatchResult(res), res.Counts, st)
+		}
+	} else {
+		for i, m := range s.det.DetectBatch(docs) {
+			out[i] = s.detection(reqDocs[i].ID, m, nil, st)
+		}
 	}
 	writeJSON(w, out)
 }
@@ -295,7 +336,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, st *endpoi
 	http.NewResponseController(w).EnableFullDuplex()
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	ds := s.clf.NewStream()
+	ds := s.det.NewStream()
 	sc := bufio.NewScanner(r.Body)
 	// Scanner's effective cap is max(cap(buf), max), so the initial
 	// buffer must not exceed the configured line limit.
@@ -318,7 +359,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, st *endpoi
 		ds.Reset()
 		io.WriteString(ds, doc.Text)
 		st.docs.Add(1)
-		enc.Encode(s.detection(doc.ID, ds.Result(), s.cfg.IncludeCounts))
+		var counts []int
+		if s.cfg.IncludeCounts {
+			counts = ds.Result().Counts
+		}
+		enc.Encode(s.detection(doc.ID, ds.Match(), counts, st))
 		if flusher != nil {
 			flusher.Flush()
 		}

@@ -353,6 +353,118 @@ func TestDetectUnclassifiable(t *testing.T) {
 	}
 }
 
+// TestDetectReportsConfidenceFields checks /detect carries the new
+// score/margin/count fields alongside the language call.
+func TestDetectReportsConfidenceFields(t *testing.T) {
+	ts, corp := newTestServer(t, serve.Config{})
+	d := postDetect(t, ts, corp.Test["es"][0].Text)
+	if d.Language != "es" || d.Unknown {
+		t.Fatalf("detection = %+v", d)
+	}
+	if d.Count <= 0 || d.Count > d.NGrams {
+		t.Errorf("count %d outside (0, %d]", d.Count, d.NGrams)
+	}
+	if d.Score <= 0 || d.Score > 1 {
+		t.Errorf("score %v outside (0,1]", d.Score)
+	}
+	if d.Margin < 0 || d.Margin > 1 {
+		t.Errorf("margin %v outside [0,1]", d.Margin)
+	}
+	if got := float64(d.Count) / float64(d.NGrams); d.Score != got {
+		t.Errorf("score %v != count/ngrams %v", d.Score, got)
+	}
+}
+
+// TestUnknownThresholding runs a server with an unattainable margin
+// floor: every document comes back unknown with language "", and the
+// unknown counters on /statsz tick separately per endpoint.
+func TestUnknownThresholding(t *testing.T) {
+	ts, corp := newTestServer(t, serve.Config{MinMargin: 0.99})
+	doc := corp.Test["en"][0].Text
+
+	d := postDetect(t, ts, doc)
+	if !d.Unknown || d.Language != "" {
+		t.Errorf("/detect below margin floor = %+v, want unknown", d)
+	}
+	if d.NGrams == 0 || d.Score <= 0 {
+		t.Errorf("unknown detection lost its diagnostics: %+v", d)
+	}
+
+	body, _ := json.Marshal([]string{string(doc), string(doc)})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dets []serve.Detection
+	err = json.NewDecoder(resp.Body).Decode(&dets)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bd := range dets {
+		if !bd.Unknown || bd.Language != "" {
+			t.Errorf("/batch doc %d = %+v, want unknown", i, bd)
+		}
+	}
+
+	line, _ := json.Marshal(map[string]string{"text": string(doc)})
+	resp, err = http.Post(ts.URL+"/stream", "application/x-ndjson", bytes.NewReader(append(line, '\n')))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sd serve.Detection
+	err = json.NewDecoder(resp.Body).Decode(&sd)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sd.Unknown || sd.Language != "" {
+		t.Errorf("/stream = %+v, want unknown", sd)
+	}
+
+	resp, err = http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap serve.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.MinMargin != 0.99 || snap.MinNGrams != 1 {
+		t.Errorf("statsz thresholds = %v/%d, want 0.99/1", snap.MinMargin, snap.MinNGrams)
+	}
+	if got := snap.Endpoints["/detect"].Unknown; got != 1 {
+		t.Errorf("detect unknown = %d, want 1", got)
+	}
+	if got := snap.Endpoints["/batch"].Unknown; got != 2 {
+		t.Errorf("batch unknown = %d, want 2", got)
+	}
+	if got := snap.Endpoints["/stream"].Unknown; got != 1 {
+		t.Errorf("stream unknown = %d, want 1", got)
+	}
+}
+
+// TestConfidentTrafficCountsNoUnknowns is the counter's negative case.
+func TestConfidentTrafficCountsNoUnknowns(t *testing.T) {
+	ts, corp := newTestServer(t, serve.Config{})
+	postDetect(t, ts, corp.Test["fi"][0].Text)
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap serve.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Endpoints["/detect"].Unknown; got != 0 {
+		t.Errorf("detect unknown = %d, want 0", got)
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	ts, _ := newTestServer(t, serve.Config{})
 	resp, err := http.Get(ts.URL + "/healthz")

@@ -11,6 +11,7 @@ type endpointStats struct {
 	docs      atomic.Int64
 	bytes     atomic.Int64
 	errors    atomic.Int64
+	unknown   atomic.Int64
 	latencyNS atomic.Int64
 }
 
@@ -20,6 +21,7 @@ func (e *endpointStats) snapshot() EndpointSnapshot {
 		Docs:     e.docs.Load(),
 		Bytes:    e.bytes.Load(),
 		Errors:   e.errors.Load(),
+		Unknown:  e.unknown.Load(),
 	}
 	if s.Requests > 0 {
 		s.AvgLatencyMicros = float64(e.latencyNS.Load()) / float64(s.Requests) / 1e3
@@ -37,6 +39,10 @@ type EndpointSnapshot struct {
 	Bytes int64 `json:"bytes"`
 	// Errors is the number of requests answered with a 4xx/5xx status.
 	Errors int64 `json:"errors"`
+	// Unknown is the number of documents answered with an unknown
+	// (below-threshold) classification — counted separately so operators
+	// can watch confidence drift without parsing responses.
+	Unknown int64 `json:"unknown"`
 	// AvgLatencyMicros is the mean request latency in microseconds.
 	AvgLatencyMicros float64 `json:"avg_latency_micros"`
 }
@@ -48,8 +54,12 @@ type Snapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Backend names the membership backend serving requests.
 	Backend string `json:"backend"`
-	// Workers is the engine pool size used by /batch.
+	// Workers is the detector pool size used by /batch.
 	Workers int `json:"workers"`
+	// MinMargin is the configured unknown-thresholding margin floor.
+	MinMargin float64 `json:"min_margin"`
+	// MinNGrams is the configured minimum n-grams for a known outcome.
+	MinNGrams int `json:"min_ngrams"`
 	// Languages is the served language inventory.
 	Languages []string `json:"languages"`
 	// Endpoints maps endpoint path to its counters.
