@@ -2,9 +2,23 @@
 // documents, end to end in software — the paper's pipeline without the
 // hardware simulation.
 //
-// Train profiles from a corpus directory (see cmd/corpusgen):
+// Train profiles with the streaming sharded trainer, from a corpus
+// directory (see cmd/corpusgen) or an NDJSON stream of
+// {"lang": "es", "text": "..."} lines, into a flat file and/or a
+// versioned registry:
 //
-//	langid train -corpus corpusdir -out profiles.bin [-n 4] [-t 5000]
+//	langid train -corpus corpusdir -out profiles.bin [-n 4] [-t 5000] [-shards 4]
+//	langid train -ndjson docs.ndjson -registry /var/lib/langid -activate
+//	cat docs.ndjson | langid train -ndjson - -registry /var/lib/langid
+//
+// Manage the registry's profile lifecycle (list, activate, rollback,
+// garbage-collect); a running langidd picks up the active version on
+// SIGHUP or POST /admin/reload:
+//
+//	langid profiles -registry /var/lib/langid
+//	langid profiles -registry /var/lib/langid -activate v000002
+//	langid profiles -registry /var/lib/langid -rollback
+//	langid profiles -registry /var/lib/langid -gc 3
 //
 // Classify files (or stdin when no files are given):
 //
@@ -13,6 +27,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +47,8 @@ func main() {
 	switch os.Args[1] {
 	case "train":
 		train(os.Args[2:])
+	case "profiles":
+		profiles(os.Args[2:])
 	case "classify":
 		classify(os.Args[2:])
 	case "eval":
@@ -42,7 +59,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: langid train|classify|eval [flags] [files...]")
+	fmt.Fprintln(os.Stderr, "usage: langid train|profiles|classify|eval [flags] [files...]")
 	os.Exit(2)
 }
 
@@ -90,33 +107,149 @@ func eval(args []string) {
 	}
 }
 
+// train streams documents through the sharded trainer — the corpus is
+// never materialized in memory — then writes the profiles to a flat
+// file, a registry version, or both.
 func train(args []string) {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	corpusDir := fs.String("corpus", "", "corpus directory (corpusgen layout)")
-	out := fs.String("out", "profiles.bin", "output profile file")
+	ndjson := fs.String("ndjson", "", `NDJSON training stream of {"lang","text"} lines ("-" for stdin)`)
+	out := fs.String("out", "", "output profile file")
+	registryDir := fs.String("registry", "", "write the profiles as a new version in this registry")
+	activate := fs.Bool("activate", false, "activate the new registry version after writing it")
 	n := fs.Int("n", 4, "n-gram length")
 	t := fs.Int("t", 5000, "profile size (top-t n-grams)")
+	shards := fs.Int("shards", 0, "trainer accumulator shards (0 = min(GOMAXPROCS, 4))")
 	fs.Parse(args)
-	if *corpusDir == "" {
-		log.Fatal("train: -corpus is required")
+	if (*corpusDir == "") == (*ndjson == "") {
+		log.Fatal("train: pass exactly one of -corpus or -ndjson")
 	}
-	corp, err := bloomlang.ReadCorpusDir(*corpusDir)
-	if err != nil {
-		log.Fatal(err)
+	if *out == "" && *registryDir == "" {
+		*out = "profiles.bin"
+	}
+	if *activate && *registryDir == "" {
+		log.Fatal("train: -activate requires -registry")
 	}
 	cfg := bloomlang.DefaultConfig()
 	cfg.N = *n
 	cfg.TopT = *t
-	ps, err := bloomlang.Train(cfg, corp)
+
+	var (
+		ps    *bloomlang.ProfileSet
+		stats bloomlang.TrainStats
+		err   error
+	)
+	switch {
+	case *corpusDir != "":
+		ps, stats, err = bloomlang.TrainDir(cfg, *corpusDir, bloomlang.WithShards(*shards))
+	case *ndjson == "-":
+		ps, stats, err = bloomlang.TrainNDJSON(cfg, os.Stdin, bloomlang.WithShards(*shards))
+	default:
+		f, ferr := os.Open(*ndjson)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		ps, stats, err = bloomlang.TrainNDJSON(cfg, f, bloomlang.WithShards(*shards))
+		f.Close()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := bloomlang.SaveProfiles(ps, *out); err != nil {
+
+	fmt.Printf("trained %d profiles (n=%d, t=%d) from %d documents (%.1f MB, %d n-grams)\n",
+		len(ps.Profiles), *n, *t, stats.Docs, float64(stats.Bytes)/1e6, stats.Grams)
+	for _, p := range ps.Profiles {
+		ls := stats.Languages[p.Language]
+		fmt.Printf("  %-3s %-12s %5d n-grams from %d docs\n",
+			p.Language, bloomlang.LanguageName(p.Language), p.Size(), ls.Docs)
+	}
+	if *out != "" {
+		if err := bloomlang.SaveProfiles(ps, *out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *registryDir != "" {
+		reg, err := bloomlang.OpenRegistry(*registryDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := reg.Create(ps, stats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("created version %s in %s (checksum %.12s…)\n", m.Version, *registryDir, m.Checksum)
+		if *activate {
+			if err := reg.Activate(m.Version); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("activated %s\n", m.Version)
+		}
+	}
+}
+
+// profiles manages a registry's version lifecycle from the command
+// line: list (default), activate, rollback, or garbage-collect.
+func profiles(args []string) {
+	fs := flag.NewFlagSet("profiles", flag.ExitOnError)
+	registryDir := fs.String("registry", "", "profile registry directory")
+	activate := fs.String("activate", "", "activate this version")
+	rollback := fs.Bool("rollback", false, "reactivate the previously active version")
+	gc := fs.Int("gc", -1, "remove old inactive versions, keeping this many")
+	fs.Parse(args)
+	if *registryDir == "" {
+		log.Fatal("profiles: -registry is required")
+	}
+	reg, err := bloomlang.OpenRegistry(*registryDir)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("trained %d profiles (n=%d, t=%d) -> %s\n", len(ps.Profiles), *n, *t, *out)
-	for _, p := range ps.Profiles {
-		fmt.Printf("  %-3s %-12s %5d n-grams\n", p.Language, bloomlang.LanguageName(p.Language), p.Size())
+	switch {
+	case *activate != "":
+		if err := reg.Activate(*activate); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("activated %s\n", *activate)
+	case *rollback:
+		id, err := reg.Rollback()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rolled back to %s\n", id)
+	case *gc >= 0:
+		removed, err := reg.GC(*gc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(removed) == 0 {
+			fmt.Println("nothing to remove")
+		}
+		for _, id := range removed {
+			fmt.Printf("removed %s\n", id)
+		}
+	default:
+		ms, err := reg.List()
+		if err != nil {
+			log.Fatal(err)
+		}
+		active, err := reg.ActiveVersion()
+		if err != nil && !errors.Is(err, bloomlang.ErrNoActiveProfile) {
+			log.Fatal(err)
+		}
+		if len(ms) == 0 {
+			fmt.Println("registry is empty")
+			return
+		}
+		for _, m := range ms {
+			marker := " "
+			if m.Version == active {
+				marker = "*"
+			}
+			fmt.Printf("%s %s  %s  n=%d t=%d  %d languages, %d docs, %.1f MB profiles\n",
+				marker, m.Version, m.CreatedAt.Format("2006-01-02 15:04:05"),
+				m.Config.N, m.Config.TopT, len(m.Languages), m.Stats.Docs,
+				float64(m.ProfileBytes)/1e6)
+		}
 	}
 }
 

@@ -1,8 +1,16 @@
 // Command langidd is the language-detection daemon: the serving
-// subsystem of internal/serve behind a real listener, with profile
-// save/load so startup costs a file read instead of a training run.
+// subsystem of internal/serve behind a hardened listener, wired into
+// the profile lifecycle so new profile versions go live without a
+// restart.
 //
-// Serve from a trained profile file (see langid train or -save):
+// Serve the active version of a profile registry (see langid train
+// -registry / langid profiles). SIGHUP or POST /admin/reload hot-swaps
+// to the currently active version with zero downtime:
+//
+//	langidd -registry /var/lib/langid -addr :8080
+//
+// Serve from a flat trained profile file (see langid train -out or
+// -save):
 //
 //	langidd -profiles profiles.bin -addr :8080
 //
@@ -18,7 +26,10 @@
 //	langidd -synthetic -save profiles.bin
 //
 // Endpoints: POST /detect, POST /batch, POST /stream (NDJSON),
-// GET /healthz, GET /statsz. The daemon drains in-flight requests on
+// GET /healthz, GET /statsz, and — when registry-backed —
+// GET /admin/profiles and POST /admin/reload. Failed requests are
+// answered with JSON error bodies (413 for oversized bodies, 408 for
+// request read timeouts). The daemon drains in-flight requests on
 // SIGINT/SIGTERM before exiting.
 package main
 
@@ -28,7 +39,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +52,7 @@ func main() {
 	log.SetPrefix("langidd: ")
 
 	addr := flag.String("addr", ":8080", "listen address")
+	registryDir := flag.String("registry", "", "profile registry directory to serve the active version of")
 	profilePath := flag.String("profiles", "", "trained profile file to serve from")
 	corpusDir := flag.String("corpus", "", "corpus directory to train from (corpusgen layout)")
 	synthetic := flag.Bool("synthetic", false, "train from a small synthetic corpus (development)")
@@ -53,6 +64,13 @@ func main() {
 	maxBody := flag.Int64("max-body", 10<<20, "max /detect and /batch body bytes")
 	maxBatch := flag.Int("max-batch", 1024, "max documents per /batch request")
 	maxLine := flag.Int("max-line", 1<<20, "max NDJSON line bytes on /stream")
+	// Read/write timeouts are absolute per-request limits, not idle
+	// limits, so they default off: /stream exchanges legitimately run
+	// for hours. Deployments without long-lived streams should set
+	// both.
+	readTimeout := flag.Duration("read-timeout", 0, "max time to read one request, including long /stream uploads (0 = unlimited; tripped reads answer 408)")
+	writeTimeout := flag.Duration("write-timeout", 0, "max time to write one response, including long /stream downloads (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout (0 = unlimited)")
 	counts := flag.Bool("counts", false, "include per-language match counts in batch/stream responses")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	flag.Parse()
@@ -61,18 +79,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ps, err := loadOrTrain(*profilePath, *corpusDir, *synthetic)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *savePath != "" {
-		if err := bloomlang.SaveProfiles(ps, *savePath); err != nil {
-			log.Fatalf("saving profiles: %v", err)
-		}
-		log.Printf("saved %d profiles to %s", len(ps.Profiles), *savePath)
-	}
-
-	srv, err := bloomlang.NewServer(ps, bloomlang.ServeConfig{
+	cfg := bloomlang.ServeConfig{
 		Backend:       backend,
 		Workers:       *workers,
 		MinMargin:     *minMargin,
@@ -80,28 +87,55 @@ func main() {
 		MaxBodyBytes:  *maxBody,
 		MaxBatchDocs:  *maxBatch,
 		MaxLineBytes:  *maxLine,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
+		IdleTimeout:   *idleTimeout,
 		IncludeCounts: *counts,
-	})
+	}
+
+	srv, version, err := buildServer(profileSource{
+		registryDir: *registryDir,
+		profilePath: *profilePath,
+		corpusDir:   *corpusDir,
+		synthetic:   *synthetic,
+		savePath:    *savePath,
+	}, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	httpSrv := srv.HTTPServer(*addr)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("serving %d languages on %s (backend %s, %d workers)",
-		len(ps.Profiles), *addr, backend, srv.Stats().Workers)
+	stats := srv.Stats()
+	if version == "" {
+		version = "unversioned"
+	}
+	log.Printf("serving %d languages on %s (profiles %s, backend %s, %d workers)",
+		len(stats.Languages), *addr, version, backend, stats.Workers)
 
-	select {
-	case err := <-errc:
-		log.Fatal(err)
-	case <-ctx.Done():
+	for {
+		select {
+		case err := <-errc:
+			log.Fatal(err)
+		case <-hup:
+			status, err := srv.Reload()
+			switch {
+			case err != nil:
+				log.Printf("SIGHUP reload failed: %v", err)
+			case status.Changed:
+				log.Printf("SIGHUP reload: now serving %s (was %s)", status.Active, status.Previous)
+			default:
+				log.Printf("SIGHUP reload: %s already active", status.Active)
+			}
+			continue
+		case <-ctx.Done():
+		}
+		break
 	}
 	log.Print("shutting down, draining in-flight requests")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -111,30 +145,82 @@ func main() {
 	}
 }
 
-// loadOrTrain resolves the profile set from, in order of preference:
-// an existing profile file, a corpus directory, or (with -synthetic) a
-// generated development corpus.
-func loadOrTrain(profilePath, corpusDir string, synthetic bool) (*bloomlang.ProfileSet, error) {
-	if profilePath != "" {
-		ps, err := bloomlang.LoadProfiles(profilePath)
+// profileSource names where the daemon's profiles come from.
+type profileSource struct {
+	registryDir string
+	profilePath string
+	corpusDir   string
+	synthetic   bool
+	savePath    string
+}
+
+// buildServer resolves the profile source and constructs the serving
+// subsystem, returning the served profile version ("" for
+// non-registry sources). Every misconfiguration fails fast with a
+// clear message instead of falling through to a half-configured
+// server.
+func buildServer(src profileSource, cfg bloomlang.ServeConfig) (*bloomlang.Server, string, error) {
+	if src.registryDir != "" {
+		if src.profilePath != "" || src.corpusDir != "" || src.synthetic || src.savePath != "" {
+			return nil, "", errors.New("-registry cannot be combined with -profiles, -corpus, -synthetic or -save")
+		}
+		reg, err := bloomlang.OpenRegistry(src.registryDir)
+		if err != nil {
+			return nil, "", err
+		}
+		srv, err := bloomlang.NewServerFromRegistry(reg, cfg)
+		if errors.Is(err, bloomlang.ErrNoActiveProfile) {
+			return nil, "", fmt.Errorf("registry %s has no active version: create one with 'langid train -registry %s -activate'",
+				src.registryDir, src.registryDir)
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		return srv, srv.Stats().ProfileVersion, nil
+	}
+	ps, err := resolveProfiles(src)
+	if err != nil {
+		return nil, "", err
+	}
+	if src.savePath != "" {
+		if err := bloomlang.SaveProfiles(ps, src.savePath); err != nil {
+			return nil, "", fmt.Errorf("saving profiles: %w", err)
+		}
+		log.Printf("saved %d profiles to %s", len(ps.Profiles), src.savePath)
+	}
+	srv, err := bloomlang.NewServer(ps, cfg)
+	return srv, "", err
+}
+
+// resolveProfiles resolves a non-registry profile source from, in
+// order of preference: an existing profile file, a corpus directory,
+// or (with -synthetic) a generated development corpus.
+func resolveProfiles(src profileSource) (*bloomlang.ProfileSet, error) {
+	if src.profilePath != "" {
+		ps, err := bloomlang.LoadProfiles(src.profilePath)
 		if err == nil {
-			log.Printf("loaded %d profiles from %s", len(ps.Profiles), profilePath)
+			log.Printf("loaded %d profiles from %s", len(ps.Profiles), src.profilePath)
 			return ps, nil
 		}
-		if !errors.Is(err, os.ErrNotExist) || (corpusDir == "" && !synthetic) {
+		if errors.Is(err, os.ErrNotExist) && (src.corpusDir != "" || src.synthetic) {
+			log.Printf("profile file %s not found, training", src.profilePath)
+		} else if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("profile file %s does not exist: train one with 'langid train -out %s', or pass -corpus/-synthetic to train at startup",
+				src.profilePath, src.profilePath)
+		} else {
 			return nil, fmt.Errorf("loading profiles: %w", err)
 		}
-		log.Printf("profile file %s not found, training", profilePath)
 	}
 	switch {
-	case corpusDir != "":
-		corp, err := bloomlang.ReadCorpusDir(corpusDir)
+	case src.corpusDir != "":
+		log.Printf("training from corpus %s (streaming)", src.corpusDir)
+		ps, stats, err := bloomlang.TrainDir(bloomlang.DefaultConfig(), src.corpusDir)
 		if err != nil {
 			return nil, err
 		}
-		log.Printf("training from corpus %s", corpusDir)
-		return bloomlang.Train(bloomlang.DefaultConfig(), corp)
-	case synthetic:
+		log.Printf("trained on %d documents (%.1f MB)", stats.Docs, float64(stats.Bytes)/1e6)
+		return ps, nil
+	case src.synthetic:
 		corp, err := bloomlang.GenerateCorpus(bloomlang.CorpusConfig{
 			DocsPerLanguage: 80,
 			WordsPerDoc:     300,
@@ -147,5 +233,5 @@ func loadOrTrain(profilePath, corpusDir string, synthetic bool) (*bloomlang.Prof
 		log.Print("training from synthetic corpus")
 		return bloomlang.Train(bloomlang.DefaultConfig(), corp)
 	}
-	return nil, errors.New("no profiles: pass -profiles FILE, -corpus DIR, or -synthetic")
+	return nil, errors.New("no profiles to serve: pass -registry DIR, -profiles FILE, -corpus DIR, or -synthetic")
 }

@@ -1,0 +1,113 @@
+package main
+
+// Unit tests for the daemon's profile-source resolution: every
+// misconfiguration must fail fast with an actionable message — the
+// daemon must never fall through to serving nothing.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bloomlang"
+)
+
+func TestResolveProfilesNoSource(t *testing.T) {
+	_, err := resolveProfiles(profileSource{})
+	if err == nil {
+		t.Fatal("no profile source resolved without error")
+	}
+	for _, want := range []string{"-registry", "-profiles", "-corpus", "-synthetic"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+}
+
+func TestResolveProfilesMissingFileNoFallback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.bin")
+	_, err := resolveProfiles(profileSource{profilePath: path})
+	if err == nil {
+		t.Fatal("missing profile file resolved without error")
+	}
+	if !strings.Contains(err.Error(), "does not exist") || !strings.Contains(err.Error(), "langid train") {
+		t.Errorf("error %q is not actionable", err)
+	}
+}
+
+func TestResolveProfilesMissingFileWithSyntheticFallback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.bin")
+	ps, err := resolveProfiles(profileSource{profilePath: path, synthetic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Profiles) == 0 {
+		t.Fatal("fallback training produced no profiles")
+	}
+}
+
+func TestResolveProfilesCorruptFileIsNotFallthrough(t *testing.T) {
+	// A present-but-unreadable profile file must error even when a
+	// fallback source is available: silently retraining over it would
+	// mask corruption.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corrupt.bin")
+	if err := os.WriteFile(path, []byte("not a profile file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := resolveProfiles(profileSource{profilePath: path, synthetic: true})
+	if err == nil {
+		t.Fatal("corrupt profile file fell through to training")
+	}
+}
+
+func TestBuildServerRegistryExclusivity(t *testing.T) {
+	_, _, err := buildServer(profileSource{registryDir: t.TempDir(), synthetic: true}, bloomlang.ServeConfig{})
+	if err == nil || !strings.Contains(err.Error(), "cannot be combined") {
+		t.Fatalf("registry+synthetic err = %v", err)
+	}
+}
+
+func TestBuildServerEmptyRegistry(t *testing.T) {
+	_, _, err := buildServer(profileSource{registryDir: filepath.Join(t.TempDir(), "reg")}, bloomlang.ServeConfig{})
+	if err == nil || !strings.Contains(err.Error(), "no active version") || !strings.Contains(err.Error(), "langid train") {
+		t.Fatalf("empty registry err = %v, want actionable no-active-version message", err)
+	}
+}
+
+func TestBuildServerFromRegistry(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "reg")
+	reg, err := bloomlang.OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := bloomlang.NewTrainer(bloomlang.Config{TopT: 200}, bloomlang.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add("en", []byte("the quick brown fox jumps over the lazy dog and runs away")); err != nil {
+		t.Fatal(err)
+	}
+	ps, stats, err := tr.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := reg.Create(ps, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Activate(m.Version); err != nil {
+		t.Fatal(err)
+	}
+	srv, version, err := buildServer(profileSource{registryDir: dir}, bloomlang.ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != m.Version {
+		t.Errorf("serving version %q, want %q", version, m.Version)
+	}
+	if got := srv.Stats().ProfileVersion; got != m.Version {
+		t.Errorf("stats version %q, want %q", got, m.Version)
+	}
+}

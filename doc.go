@@ -77,26 +77,77 @@
 // Every table and figure of the paper's evaluation can be regenerated;
 // see the Run* experiment functions and cmd/experiments.
 //
+// # Profile lifecycle
+//
+// Training, versioning, activation and serving are decoupled, the way
+// the paper's deployment separates offline profile construction from
+// the hardware that serves them (§2). The streaming trainer ingests
+// documents incrementally — whole documents, io.Readers, NDJSON
+// streams, or corpus directory trees — and counts n-grams across
+// sharded, mergeable accumulators, so a training corpus never has to
+// fit in memory; its output is byte-identical to Train on the same
+// documents:
+//
+//	tr, _ := bloomlang.NewTrainer(bloomlang.DefaultConfig(), bloomlang.WithShards(4))
+//	tr.Add("es", doc)                       // one document at a time
+//	tr.AddReader("en", file)                // streamed, chunk by chunk
+//	tr.AddNDJSON(r)                         // {"lang": "es", "text": "..."} lines
+//	tr.AddDir("corpus")                     // corpusgen layout, file by file
+//	profiles, stats, _ := tr.Finalize()
+//
+// Trained profiles become immutable, checksummed versions in an
+// on-disk registry; exactly one version is active at a time, and the
+// rollback history makes bad rollouts reversible:
+//
+//	reg, _ := bloomlang.OpenRegistry("/var/lib/langid")
+//	m, _ := reg.Create(profiles, stats)     // -> v000007, not yet live
+//	reg.Activate(m.Version)                 // CURRENT -> v000007
+//	reg.Rollback()                          // back to the previous version
+//	reg.GC(3)                               // drop old inactive versions
+//
+// The same lifecycle from the command line, end to end:
+//
+//	langid train -corpus corpusdir -registry /var/lib/langid -activate
+//	langid profiles -registry /var/lib/langid            # list versions
+//	langidd -registry /var/lib/langid -addr :8080        # serve the active version
+//	langid train -ndjson fresh.ndjson -registry /var/lib/langid -activate
+//	curl -X POST :8080/admin/reload                      # hot-swap, zero downtime
+//	langid profiles -registry /var/lib/langid -rollback  # then reload again
+//
+// A running server reaches its detector through a hot-swap handle (an
+// atomic pointer to an immutable (detector, version) snapshot), so
+// Reload — triggered by SIGHUP or POST /admin/reload — is
+// zero-downtime: requests in flight finish on the detector they
+// started with, requests arriving after the swap see the new version,
+// and no request ever blocks or observes a torn state.
+//
 // # Serving
 //
-// The serving subsystem (internal/serve, re-exported as NewServer)
-// routes all endpoints through one Detector. Responses carry the
-// score/margin/unknown fields; /statsz counts unknown-classified
-// documents separately per endpoint:
+// The serving subsystem (internal/serve, re-exported as NewServer /
+// NewServerFromRegistry) routes all endpoints through the current
+// detector snapshot. Responses carry the score/margin/unknown fields;
+// /statsz counts unknown-classified documents separately per endpoint
+// and names the serving profile version; failed requests are answered
+// with a JSON error body ({"error": ..., "status": ...}) — 413 for
+// oversized bodies, 408 for request-body read timeouts:
 //
-//	POST /detect   one raw document        -> one JSON detection
-//	POST /batch    JSON array of documents -> array of detections,
-//	               fanned out over the detector's workers, input order
-//	               preserved
-//	POST /stream   NDJSON documents        -> NDJSON detections,
-//	               classified incrementally with bounded memory, one
-//	               result line flushed per input line
-//	GET  /healthz  liveness probe
-//	GET  /statsz   request/byte/latency/unknown counters
+//	POST /detect          one raw document        -> one JSON detection
+//	POST /batch           JSON array of documents -> array of detections,
+//	                      fanned out over the detector's workers, input
+//	                      order preserved
+//	POST /stream          NDJSON documents        -> NDJSON detections,
+//	                      classified incrementally with bounded memory,
+//	                      one result line flushed per input line
+//	GET  /healthz         liveness probe
+//	GET  /statsz          request/byte/latency/unknown counters + version
+//	GET  /admin/profiles  registry versions, serving vs active version
+//	POST /admin/reload    hot-swap to the registry's active version
 //
-// Trained profiles persist with SaveProfiles and come back with
-// LoadProfiles (configuration travels with the profiles), so a server
-// restart costs a file read instead of a training run:
+// The admin endpoints exist only on registry-backed servers and carry
+// no authentication; deployments should expose /admin to operators
+// only. Flat profile files remain supported for simple setups:
+// SaveProfiles/LoadProfiles round-trip a ProfileSet (configuration
+// included), so a restart costs a file read instead of a training run:
 //
 //	profiles, _ := bloomlang.LoadProfiles("profiles.bin")
 //	srv, _ := bloomlang.NewServer(profiles, bloomlang.ServeConfig{MinMargin: 0.02})
@@ -104,10 +155,11 @@
 //
 // cmd/langidd is the production daemon around this handler: flags for
 // address, backend, worker pool, confidence thresholds (-min-margin,
-// -min-ngrams), and body/batch/line limits, profile loading (or
-// training via -corpus / -synthetic, with -save), and graceful drain on
-// SIGINT/SIGTERM. examples/server walks the full serving surface in one
-// self-contained program.
+// -min-ngrams), body/batch/line limits and read/write/idle timeouts,
+// profile sources (-registry, -profiles, -corpus, -synthetic, with
+// -save), SIGHUP hot reload, and graceful drain on SIGINT/SIGTERM.
+// examples/server walks the full serving surface, admin plane
+// included, in one self-contained program.
 //
 // # Migrating from Classifier and Engine
 //

@@ -1,19 +1,22 @@
 // Server: the language-detection microservice — the kind of service a
 // search-engine indexer or spam-filter front-end (§1) would call. The
 // heavy lifting lives in the library's serving subsystem (see
-// bloomlang.NewServer and cmd/langidd for the production daemon); this
-// example trains a small classifier, saves and reloads its profiles
-// through the serialization path a daemon restart would use, mounts the
-// handler on an ephemeral port, exercises every endpoint as a client,
-// and exits.
+// bloomlang.NewServerFromRegistry and cmd/langidd for the production
+// daemon); this example walks the whole profile lifecycle: stream a
+// training corpus into the sharded trainer, version the profiles in a
+// registry, serve the active version, exercise every endpoint as a
+// client, then train a second version and hot-swap to it through the
+// admin plane with zero downtime.
 //
 // API (see internal/serve):
 //
-//	POST /detect   one document      -> {"language":"es","name":"Spanish",...}
-//	POST /batch    JSON array        -> array of detections, input order
-//	POST /stream   NDJSON documents  -> NDJSON detections, incremental
-//	GET  /healthz  liveness          -> 200 ok
-//	GET  /statsz   serving counters  -> JSON snapshot
+//	POST /detect          one document      -> {"language":"es","name":"Spanish",...}
+//	POST /batch           JSON array        -> array of detections, input order
+//	POST /stream          NDJSON documents  -> NDJSON detections, incremental
+//	GET  /healthz         liveness          -> 200 ok
+//	GET  /statsz          serving counters  -> JSON snapshot (+ profile version)
+//	GET  /admin/profiles  version inventory -> serving vs active version
+//	POST /admin/reload    hot swap          -> {"previous":...,"active":...}
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
@@ -35,8 +39,9 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	// Train once, then persist and reload the profiles — the round-trip
-	// a daemon restart takes instead of re-training (cf. langidd -save).
+	// Generate a small corpus to disk and stream it through the
+	// sharded trainer — the corpus never materializes in trainer
+	// memory (cf. langid train -corpus).
 	corp, err := bloomlang.GenerateCorpus(bloomlang.CorpusConfig{
 		DocsPerLanguage: 80,
 		WordsPerDoc:     300,
@@ -46,26 +51,38 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	trained, err := bloomlang.Train(bloomlang.DefaultConfig(), corp)
-	if err != nil {
-		log.Fatal(err)
-	}
 	dir, err := os.MkdirTemp("", "bloomlang-server")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	profilePath := filepath.Join(dir, "profiles.bin")
-	if err := bloomlang.SaveProfiles(trained, profilePath); err != nil {
+	corpusDir := filepath.Join(dir, "corpus")
+	if err := corp.WriteDir(corpusDir); err != nil {
 		log.Fatal(err)
 	}
-	profiles, err := bloomlang.LoadProfiles(profilePath)
+	profiles, stats, err := bloomlang.TrainDir(bloomlang.DefaultConfig(), corpusDir)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// Version the profiles in a registry and activate — the lifecycle
+	// a production rollout follows (cf. langid train -registry -activate).
+	reg, err := bloomlang.OpenRegistry(filepath.Join(dir, "registry"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	v1, err := reg.Create(profiles, stats)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := reg.Activate(v1.Version); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registry: created and activated %s (%d docs, %.1f MB trained)\n\n",
+		v1.Version, stats.Docs, float64(stats.Bytes)/1e6)
+
 	// A 1% margin floor: near-ties come back unknown instead of guessed.
-	srv, err := bloomlang.NewServer(profiles, bloomlang.ServeConfig{MinMargin: 0.01})
+	srv, err := bloomlang.NewServerFromRegistry(reg, bloomlang.ServeConfig{MinMargin: 0.01})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -127,26 +144,77 @@ func main() {
 	resp.Body.Close()
 	fmt.Println()
 
-	// Health and serving counters.
+	// Health and serving counters; /statsz names the profile version.
 	resp, err = client.Get(ts.URL + "/healthz")
 	if err != nil {
 		log.Fatal(err)
 	}
 	resp.Body.Close()
 	fmt.Printf("health: %s\n", resp.Status)
-	resp, err = client.Get(ts.URL + "/statsz")
+	stats1 := getStats(client, ts.URL)
+	fmt.Printf("stats: serving %s; %d detect, %d batch docs, %d stream docs across %d languages (%d unknown)\n\n",
+		stats1.ProfileVersion,
+		stats1.Endpoints["/detect"].Docs,
+		stats1.Endpoints["/batch"].Docs,
+		stats1.Endpoints["/stream"].Docs,
+		len(stats1.Languages),
+		stats1.Endpoints["/detect"].Unknown+stats1.Endpoints["/batch"].Unknown+stats1.Endpoints["/stream"].Unknown)
+
+	// The admin plane: retrain with a tighter profile, version it,
+	// activate, and hot-swap the running server — zero downtime, no
+	// restart (cf. langidd SIGHUP / POST /admin/reload).
+	cfg2 := bloomlang.DefaultConfig()
+	cfg2.TopT = 3000
+	profiles2, stats2, err := bloomlang.TrainDir(cfg2, corpusDir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var stats bloomlang.ServeStats
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		log.Fatalf("/statsz: %v", err)
+	v2, err := reg.Create(profiles2, stats2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := reg.Activate(v2.Version); err != nil {
+		log.Fatal(err)
+	}
+	var inventory bloomlang.ProfilesStatus
+	getJSON(client, ts.URL+"/admin/profiles", &inventory)
+	fmt.Printf("/admin/profiles -> serving %s, active %s, %d versions\n",
+		inventory.Serving, inventory.Active, len(inventory.Versions))
+
+	resp, err = client.Post(ts.URL+"/admin/reload", "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reload bloomlang.ReloadStatus
+	if err := json.NewDecoder(resp.Body).Decode(&reload); err != nil {
+		log.Fatalf("/admin/reload: %v", err)
 	}
 	resp.Body.Close()
-	fmt.Printf("stats: %d detect, %d batch docs, %d stream docs across %d languages (%d unknown)\n",
-		stats.Endpoints["/detect"].Docs,
-		stats.Endpoints["/batch"].Docs,
-		stats.Endpoints["/stream"].Docs,
-		len(stats.Languages),
-		stats.Endpoints["/detect"].Unknown+stats.Endpoints["/batch"].Unknown+stats.Endpoints["/stream"].Unknown)
+	fmt.Printf("/admin/reload   -> %s live (was %s, changed=%v)\n",
+		reload.Active, reload.Previous, reload.Changed)
+	if got := getStats(client, ts.URL).ProfileVersion; got != v2.Version {
+		log.Fatalf("statsz reports %s after reload, want %s", got, v2.Version)
+	}
+	fmt.Printf("/statsz         -> profile_version %s\n", v2.Version)
+}
+
+func getStats(client *http.Client, base string) bloomlang.ServeStats {
+	var stats bloomlang.ServeStats
+	getJSON(client, base+"/statsz", &stats)
+	return stats
+}
+
+func getJSON(client *http.Client, url string, v any) {
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("%s: %s: %s", url, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatalf("%s: %v", url, err)
+	}
 }

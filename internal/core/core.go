@@ -79,6 +79,14 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// WithDefaults returns the configuration with zero fields replaced by
+// the package defaults — the effective configuration Train and New
+// operate under, and the one a trained ProfileSet records.
+func (c Config) WithDefaults() Config {
+	c.applyDefaults()
+	return c
+}
+
 // Validate reports configuration errors early.
 func (c Config) Validate() error {
 	cfg := c

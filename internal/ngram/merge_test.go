@@ -1,0 +1,75 @@
+package ngram
+
+import (
+	"testing"
+)
+
+// TestCounterMergeEqualsSequential partitions one document stream
+// across several counters and checks the merge reconstructs exactly the
+// counts a single counter accumulates — the invariant sharded training
+// depends on.
+func TestCounterMergeEqualsSequential(t *testing.T) {
+	docs := [][]byte{
+		[]byte("the quick brown fox jumps over the lazy dog"),
+		[]byte("pack my box with five dozen liquor jugs"),
+		[]byte("sphinx of black quartz judge my vow"),
+		[]byte("the five boxing wizards jump quickly"),
+	}
+	for _, n := range []int{2, 4, MaxN} {
+		single, err := NewCounter(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := make([]*Counter, 3)
+		for i := range shards {
+			if shards[i], err = NewCounter(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, doc := range docs {
+			if err := single.AddText(doc); err != nil {
+				t.Fatal(err)
+			}
+			if err := shards[i%len(shards)].AddText(doc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		merged := shards[0]
+		for _, s := range shards[1:] {
+			if err := merged.Merge(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.Total() != single.Total() {
+			t.Fatalf("n=%d: merged total %d, want %d", n, merged.Total(), single.Total())
+		}
+		if merged.Distinct() != single.Distinct() {
+			t.Fatalf("n=%d: merged distinct %d, want %d", n, merged.Distinct(), single.Distinct())
+		}
+		want := single.Top(0x7fffffff)
+		got := merged.Top(0x7fffffff)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: merged ranking has %d entries, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: ranking entry %d = %+v, want %+v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCounterMergeRejectsMismatchedN(t *testing.T) {
+	a, _ := NewCounter(3)
+	b, _ := NewCounter(4)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging n=4 into n=3 did not fail")
+	}
+}
+
+func TestCounterN(t *testing.T) {
+	c, _ := NewCounter(5)
+	if c.N() != 5 {
+		t.Fatalf("N() = %d, want 5", c.N())
+	}
+}

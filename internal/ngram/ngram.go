@@ -226,6 +226,30 @@ func (c *Counter) AddText(text []byte) error {
 // Total returns the number of n-grams accumulated.
 func (c *Counter) Total() uint64 { return c.total }
 
+// N returns the n-gram length the counter accumulates.
+func (c *Counter) N() int { return c.n }
+
+// Merge adds every count accumulated in o into c, leaving o unchanged.
+// Counting is additive, so any partition of a document stream across
+// counters merges back to the exact counts a single counter would have
+// seen — the property sharded training relies on.
+func (c *Counter) Merge(o *Counter) error {
+	if c.n != o.n {
+		return fmt.Errorf("ngram: cannot merge counter with n=%d into n=%d", o.n, c.n)
+	}
+	if c.flat != nil {
+		for g, v := range o.flat {
+			c.flat[g] += v
+		}
+	} else {
+		for g, v := range o.m {
+			c.m[g] += v
+		}
+	}
+	c.total += o.total
+	return nil
+}
+
 // Get returns the count of g.
 func (c *Counter) Get(g uint32) uint64 {
 	if c.flat != nil {

@@ -1,0 +1,57 @@
+package registry
+
+import (
+	"sync/atomic"
+	"time"
+
+	"bloomlang/internal/core"
+)
+
+// Snapshot is one immutable (detector, version) pairing. Readers that
+// need the detector and its version to agree must take one Snapshot
+// and use both fields from it.
+type Snapshot struct {
+	// Detector serves requests for this snapshot's version.
+	Detector *core.Detector
+	// Version is the registry version id the detector was built from
+	// ("" for a detector that did not come from a registry).
+	Version string
+	// SwappedAt is when this snapshot became current.
+	SwappedAt time.Time
+}
+
+// Handle is the zero-downtime hot-swap point between the profile
+// lifecycle and the serving path: a single atomic pointer to the
+// current Snapshot. Readers load the pointer once per request — never
+// blocking, never observing a torn state — and keep using the detector
+// they loaded even while a swap replaces the pointer; the old detector
+// stays valid for requests already holding it (the membership
+// structures are immutable after construction) and becomes garbage
+// once the last in-flight request drops it.
+type Handle struct {
+	p atomic.Pointer[Snapshot]
+}
+
+// NewHandle returns a handle serving det under the given version id.
+// det must be non-nil.
+func NewHandle(det *core.Detector, version string) *Handle {
+	h := &Handle{}
+	h.p.Store(&Snapshot{Detector: det, Version: version, SwappedAt: time.Now()})
+	return h
+}
+
+// Snapshot returns the current (detector, version) pairing; never nil.
+func (h *Handle) Snapshot() *Snapshot { return h.p.Load() }
+
+// Detector returns the current detector; never nil.
+func (h *Handle) Detector() *core.Detector { return h.p.Load().Detector }
+
+// Version returns the current version id.
+func (h *Handle) Version() string { return h.p.Load().Version }
+
+// Swap atomically replaces the current snapshot and returns the
+// previous one. In-flight readers holding the old snapshot are
+// unaffected; every load after Swap returns observes the new one.
+func (h *Handle) Swap(det *core.Detector, version string) *Snapshot {
+	return h.p.Swap(&Snapshot{Detector: det, Version: version, SwappedAt: time.Now()})
+}

@@ -6,20 +6,23 @@
 //
 // Endpoints:
 //
-//	POST /detect   body = one raw document        -> one JSON Detection
-//	POST /batch    body = JSON array of documents -> JSON array of Detections
-//	POST /stream   body = NDJSON documents        -> NDJSON Detections, incremental
-//	GET  /healthz  liveness probe                 -> 200 "ok"
-//	GET  /statsz   request/byte/latency counters  -> JSON Snapshot
+//	POST /detect          body = one raw document        -> one JSON Detection
+//	POST /batch           body = JSON array of documents -> JSON array of Detections
+//	POST /stream          body = NDJSON documents        -> NDJSON Detections, incremental
+//	GET  /healthz         liveness probe                 -> 200 "ok"
+//	GET  /statsz          request/byte/latency counters  -> JSON Snapshot
+//	GET  /admin/profiles  profile versions + active      -> JSON ProfilesStatus (registry-backed servers)
+//	POST /admin/reload    hot-swap to the active version -> JSON ReloadStatus   (registry-backed servers)
 //
-// All endpoints route through one core.Detector: batch requests fan
-// out over its worker pool (document-level parallelism, the software
-// analogue of the paper's parallel document processing), stream
-// requests are classified incrementally with bounded memory via its
-// stream path, and every response carries the detector's normalized
-// score, winner margin, and explicit unknown outcome. The membership
-// structures are read-only after construction, so all endpoints serve
-// concurrent traffic without locking.
+// All endpoints route through one core.Detector, reached through a
+// registry.Handle: every request atomically loads the current
+// (detector, version) snapshot once and uses it throughout, so a
+// profile hot swap is zero-downtime — in-flight requests keep the
+// detector they loaded, requests arriving after the swap see the new
+// one, and no request ever blocks on or observes a torn swap. Failed
+// requests are answered with a JSON error body ({"error": ...,
+// "status": ...}): oversized bodies as 413, request-body read
+// timeouts as 408.
 package serve
 
 import (
@@ -28,11 +31,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"os"
+	"sync"
 	"time"
 
 	"bloomlang/internal/core"
 	"bloomlang/internal/corpus"
+	"bloomlang/internal/registry"
 )
 
 // Config carries the serving-layer knobs.
@@ -60,6 +67,20 @@ type Config struct {
 	// IncludeCounts adds per-language match counts to every Detection
 	// (always included on /detect).
 	IncludeCounts bool
+	// ReadTimeout bounds reading a whole request (header + body) on
+	// servers built by HTTPServer; 0 means no limit. A tripped read
+	// deadline surfaces as a 408 JSON error. Long-lived /stream uploads
+	// need this generous or zero.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing a response on servers built by
+	// HTTPServer; 0 means no limit.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds keep-alive idleness on servers built by
+	// HTTPServer; 0 means no limit.
+	IdleTimeout time.Duration
+	// Registry, when set, enables the /admin/profiles and /admin/reload
+	// endpoints and SIGHUP-style Reload against this profile store.
+	Registry *registry.Registry
 }
 
 func (c *Config) applyDefaults() {
@@ -74,21 +95,29 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// Server owns a detector and the serving counters. It is safe for
-// concurrent use by any number of connections.
+// Server owns the hot-swappable detector handle and the serving
+// counters. It is safe for concurrent use by any number of
+// connections, including concurrent profile reloads.
 type Server struct {
-	cfg   Config
-	det   *core.Detector
-	start time.Time
+	cfg    Config
+	handle *registry.Handle
+	reg    *registry.Registry
+	start  time.Time
 
-	detect  endpointStats
-	batch   endpointStats
-	stream  endpointStats
-	healthz endpointStats
-	statsz  endpointStats
+	reloadMu sync.Mutex // serializes Reload; request paths never take it
+
+	detect        endpointStats
+	batch         endpointStats
+	stream        endpointStats
+	healthz       endpointStats
+	statsz        endpointStats
+	adminProfiles endpointStats
+	adminReload   endpointStats
 }
 
-// New builds a server from trained profiles.
+// New builds a server from trained profiles. The profiles serve under
+// the empty version id unless the server is registry-backed and later
+// reloaded.
 func New(ps *core.ProfileSet, cfg Config) (*Server, error) {
 	cfg.applyDefaults()
 	clf, err := core.New(ps, cfg.Backend)
@@ -103,23 +132,112 @@ func New(ps *core.ProfileSet, cfg Config) (*Server, error) {
 func NewFromClassifier(clf *core.Classifier, cfg Config) *Server {
 	cfg.applyDefaults()
 	cfg.Backend = clf.Backend()
-	return &Server{
-		cfg: cfg,
-		det: core.NewDetectorFromClassifier(clf,
-			core.WithWorkers(cfg.Workers),
-			core.WithMinMargin(cfg.MinMargin),
-			core.WithMinNGrams(cfg.MinNGrams)),
+	s := &Server{
+		cfg:   cfg,
+		reg:   cfg.Registry,
 		start: time.Now(),
 	}
+	s.handle = registry.NewHandle(s.buildDetector(clf), "")
+	return s
 }
 
-// Detector returns the detector serving requests.
-func (s *Server) Detector() *core.Detector { return s.det }
+// NewFromRegistry builds a server from the registry's active profile
+// version; cfg.Registry is overridden with reg. The server then serves
+// that version until Reload (or /admin/reload) swaps in a newer one.
+func NewFromRegistry(reg *registry.Registry, cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	cfg.Registry = reg
+	ps, m, err := reg.LoadActive()
+	if err != nil {
+		return nil, err
+	}
+	s, err := New(ps, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.handle.Swap(s.handle.Detector(), m.Version)
+	return s, nil
+}
 
-// Classifier returns the classifier serving requests.
-func (s *Server) Classifier() *core.Classifier { return s.det.Classifier() }
+// buildDetector applies the server's detection policy to a classifier.
+func (s *Server) buildDetector(clf *core.Classifier) *core.Detector {
+	return core.NewDetectorFromClassifier(clf,
+		core.WithWorkers(s.cfg.Workers),
+		core.WithMinMargin(s.cfg.MinMargin),
+		core.WithMinNGrams(s.cfg.MinNGrams))
+}
 
-// Handler returns the service mux.
+// Detector returns the detector currently serving requests. Callers
+// needing the detector and its version to agree should use Snapshot.
+func (s *Server) Detector() *core.Detector { return s.handle.Detector() }
+
+// Classifier returns the classifier currently serving requests.
+func (s *Server) Classifier() *core.Classifier { return s.handle.Detector().Classifier() }
+
+// Snapshot returns the current (detector, version) pairing.
+func (s *Server) Snapshot() *registry.Snapshot { return s.handle.Snapshot() }
+
+// SwapDetector atomically replaces the serving detector — the
+// registry-less hot-swap path for embedders that manage their own
+// profile lifecycle. It returns the previously served version id.
+// SwapDetector serializes with Reload, so a concurrent /admin/reload
+// cannot interleave with (and silently clobber) an embedder's swap.
+func (s *Server) SwapDetector(det *core.Detector, version string) string {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	return s.handle.Swap(det, version).Version
+}
+
+// ReloadStatus reports one Reload outcome.
+type ReloadStatus struct {
+	// Previous is the version serving before the reload.
+	Previous string `json:"previous"`
+	// Active is the version serving after the reload (the registry's
+	// active version).
+	Active string `json:"active"`
+	// Changed reports whether the reload actually swapped detectors;
+	// reloading an unchanged active version is a no-op.
+	Changed bool `json:"changed"`
+	// Languages is the served language inventory after the reload.
+	Languages []string `json:"languages"`
+}
+
+// Reload loads the registry's active profile version and hot-swaps it
+// into the serving path. Requests in flight finish on the detector
+// they started with; requests arriving after Reload returns see the
+// new version. Reloading while the served version is already the
+// active one is a cheap no-op.
+func (s *Server) Reload() (ReloadStatus, error) {
+	if s.reg == nil {
+		return ReloadStatus{}, errors.New("serve: no registry configured")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	prev := s.handle.Version()
+	activeID, err := s.reg.ActiveVersion()
+	if err != nil {
+		return ReloadStatus{}, err
+	}
+	if activeID == prev {
+		det := s.handle.Detector()
+		return ReloadStatus{Previous: prev, Active: prev, Languages: det.Languages()}, nil
+	}
+	ps, m, err := s.reg.LoadActive()
+	if err != nil {
+		return ReloadStatus{}, err
+	}
+	clf, err := core.New(ps, s.cfg.Backend)
+	if err != nil {
+		return ReloadStatus{}, err
+	}
+	det := s.buildDetector(clf)
+	s.handle.Swap(det, m.Version)
+	return ReloadStatus{Previous: prev, Active: m.Version, Changed: true, Languages: det.Languages()}, nil
+}
+
+// Handler returns the service mux. The admin endpoints are mounted
+// only on registry-backed servers; deployments should keep /admin
+// reachable by operators only.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/detect", s.measure(&s.detect, http.MethodPost, s.handleDetect))
@@ -127,18 +245,38 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/stream", s.measure(&s.stream, http.MethodPost, s.handleStream))
 	mux.Handle("/healthz", s.measure(&s.healthz, http.MethodGet, s.handleHealthz))
 	mux.Handle("/statsz", s.measure(&s.statsz, http.MethodGet, s.handleStatsz))
+	if s.reg != nil {
+		mux.Handle("/admin/profiles", s.measure(&s.adminProfiles, http.MethodGet, s.handleAdminProfiles))
+		mux.Handle("/admin/reload", s.measure(&s.adminReload, http.MethodPost, s.handleAdminReload))
+	}
 	return mux
+}
+
+// HTTPServer wraps the handler in an http.Server with the configured
+// read/write/idle timeouts — the hardened listener cmd/langidd runs.
+func (s *Server) HTTPServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
 }
 
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() Snapshot {
-	return Snapshot{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Backend:       s.det.Backend().String(),
-		Workers:       s.det.Workers(),
-		MinMargin:     s.det.MinMargin(),
-		MinNGrams:     s.det.MinNGrams(),
-		Languages:     s.det.Languages(),
+	snap := s.handle.Snapshot()
+	det := snap.Detector
+	out := Snapshot{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Backend:        det.Backend().String(),
+		Workers:        det.Workers(),
+		MinMargin:      det.MinMargin(),
+		MinNGrams:      det.MinNGrams(),
+		ProfileVersion: snap.Version,
+		Languages:      det.Languages(),
 		Endpoints: map[string]EndpointSnapshot{
 			"/detect":  s.detect.snapshot(),
 			"/batch":   s.batch.snapshot(),
@@ -147,6 +285,11 @@ func (s *Server) Stats() Snapshot {
 			"/statsz":  s.statsz.snapshot(),
 		},
 	}
+	if s.reg != nil {
+		out.Endpoints["/admin/profiles"] = s.adminProfiles.snapshot()
+		out.Endpoints["/admin/reload"] = s.adminReload.snapshot()
+	}
+	return out
 }
 
 // statusRecorder captures the response status for error counting.
@@ -179,7 +322,7 @@ func (s *Server) measure(st *endpointStats, method string, h func(http.ResponseW
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		if r.Method != method {
 			rec.Header().Set("Allow", method)
-			http.Error(rec, fmt.Sprintf("%s requires %s", r.URL.Path, method), http.StatusMethodNotAllowed)
+			jsonError(rec, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires %s", r.URL.Path, method))
 		} else {
 			h(rec, r, st)
 		}
@@ -218,8 +361,9 @@ type Detection struct {
 }
 
 // detection converts a Match into the wire shape, attaching per-language
-// counts when given and bumping the endpoint's unknown counter.
-func (s *Server) detection(id string, m core.Match, counts []int, st *endpointStats) Detection {
+// counts when given and bumping the endpoint's unknown counter. det
+// must be the detector that produced m, so language order agrees.
+func (s *Server) detection(det *core.Detector, id string, m core.Match, counts []int, st *endpointStats) Detection {
 	d := Detection{
 		ID:       id,
 		Language: m.Lang,
@@ -231,7 +375,7 @@ func (s *Server) detection(id string, m core.Match, counts []int, st *endpointSt
 		Unknown:  m.Unknown,
 	}
 	if counts != nil {
-		langs := s.det.Languages()
+		langs := det.Languages()
 		d.Counts = make(map[string]int, len(langs))
 		for i, l := range langs {
 			d.Counts[l] = counts[i]
@@ -244,6 +388,9 @@ func (s *Server) detection(id string, m core.Match, counts []int, st *endpointSt
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request, st *endpointStats) {
+	// One snapshot per request: a concurrent hot swap must not change
+	// the detector under a request that already started.
+	det := s.handle.Detector()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		httpReadError(w, err)
@@ -252,14 +399,14 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request, st *endpoi
 	st.bytes.Add(int64(len(body)))
 	// /detect always reports per-language counts, so it takes the
 	// Result-carrying path and scores it under the detector's policy.
-	res := s.det.Classifier().Classify(body)
-	m := s.det.MatchResult(res)
+	res := det.Classifier().Classify(body)
+	m := det.MatchResult(res)
 	if m.NGrams == 0 {
-		http.Error(w, "document too short to classify", http.StatusUnprocessableEntity)
+		jsonError(w, http.StatusUnprocessableEntity, "document too short to classify")
 		return
 	}
 	st.docs.Add(1)
-	writeJSON(w, s.detection("", m, res.Counts, st))
+	writeJSON(w, s.detection(det, "", m, res.Counts, st))
 }
 
 // batchDoc accepts either a bare JSON string or {"id": ..., "text": ...}.
@@ -284,6 +431,7 @@ func (d *batchDoc) UnmarshalJSON(data []byte) error {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, st *endpointStats) {
+	det := s.handle.Detector()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		httpReadError(w, err)
@@ -291,11 +439,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, st *endpoin
 	}
 	var reqDocs []batchDoc
 	if err := json.Unmarshal(body, &reqDocs); err != nil {
-		http.Error(w, "body must be a JSON array of documents: "+err.Error(), http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "body must be a JSON array of documents: "+err.Error())
 		return
 	}
 	if len(reqDocs) > s.cfg.MaxBatchDocs {
-		http.Error(w, fmt.Sprintf("batch of %d documents exceeds limit %d", len(reqDocs), s.cfg.MaxBatchDocs), http.StatusRequestEntityTooLarge)
+		jsonError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch of %d documents exceeds limit %d", len(reqDocs), s.cfg.MaxBatchDocs))
 		return
 	}
 	docs := make([]corpus.Document, len(reqDocs))
@@ -310,13 +458,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, st *endpoin
 	if s.cfg.IncludeCounts {
 		// Counts requested: run the Result-carrying engine path and
 		// score each result under the detector's policy.
-		results := core.NewEngine(s.det.Classifier(), s.det.Workers()).ClassifyAll(docs)
+		results := core.NewEngine(det.Classifier(), det.Workers()).ClassifyAll(docs)
 		for i, res := range results {
-			out[i] = s.detection(reqDocs[i].ID, s.det.MatchResult(res), res.Counts, st)
+			out[i] = s.detection(det, reqDocs[i].ID, det.MatchResult(res), res.Counts, st)
 		}
 	} else {
-		for i, m := range s.det.DetectBatch(docs) {
-			out[i] = s.detection(reqDocs[i].ID, m, nil, st)
+		for i, m := range det.DetectBatch(docs) {
+			out[i] = s.detection(det, reqDocs[i].ID, m, nil, st)
 		}
 	}
 	writeJSON(w, out)
@@ -327,8 +475,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, st *endpoin
 // produced. The whole exchange uses bounded memory regardless of how
 // many documents flow through: one line buffer, one DocumentStream
 // reset at each document boundary — the software mirror of the
-// hardware's End-of-Document marker in the DMA stream (§3.3).
+// hardware's End-of-Document marker in the DMA stream (§3.3). The
+// stream keeps its request-start detector for its whole life, even
+// across hot swaps.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, st *endpointStats) {
+	det := s.handle.Detector()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	// Result lines go out while request lines are still coming in; for
 	// HTTP/1 the server would otherwise cut off the request body at the
@@ -336,7 +487,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, st *endpoi
 	http.NewResponseController(w).EnableFullDuplex()
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	ds := s.det.NewStream()
+	ds := det.NewStream()
 	sc := bufio.NewScanner(r.Body)
 	// Scanner's effective cap is max(cap(buf), max), so the initial
 	// buffer must not exceed the configured line limit.
@@ -363,7 +514,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, st *endpoi
 		if s.cfg.IncludeCounts {
 			counts = ds.Result().Counts
 		}
-		enc.Encode(s.detection(doc.ID, ds.Match(), counts, st))
+		enc.Encode(s.detection(det, doc.ID, ds.Match(), counts, st))
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -386,18 +537,77 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request, st *endpoi
 	writeJSON(w, s.Stats())
 }
 
+// ProfilesStatus is the /admin/profiles payload.
+type ProfilesStatus struct {
+	// Serving is the version the handle serves right now.
+	Serving string `json:"serving"`
+	// Active is the registry's active version — it differs from
+	// Serving between an Activate and the next reload.
+	Active string `json:"active,omitempty"`
+	// Versions lists every version manifest in ascending order.
+	Versions []*registry.Manifest `json:"versions"`
+}
+
+func (s *Server) handleAdminProfiles(w http.ResponseWriter, r *http.Request, st *endpointStats) {
+	versions, err := s.reg.List()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	active, err := s.reg.ActiveVersion()
+	if err != nil && !errors.Is(err, registry.ErrNoActive) {
+		jsonError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, ProfilesStatus{
+		Serving:  s.handle.Version(),
+		Active:   active,
+		Versions: versions,
+	})
+}
+
+func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request, st *endpointStats) {
+	status, err := s.Reload()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, status)
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
 }
 
+// errorBody is the JSON envelope every failed request is answered
+// with.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// jsonError writes a JSON error response with the given status.
+func jsonError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: msg, Status: status})
+}
+
 // httpReadError maps body-read failures to statuses: the MaxBytesReader
-// limit becomes 413, everything else 400.
+// limit becomes 413, a tripped read deadline (Config.ReadTimeout)
+// becomes 408, everything else 400.
 func httpReadError(w http.ResponseWriter, err error) {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
-		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+		jsonError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
 		return
 	}
-	http.Error(w, err.Error(), http.StatusBadRequest)
+	var netErr net.Error
+	if errors.Is(err, os.ErrDeadlineExceeded) || (errors.As(err, &netErr) && netErr.Timeout()) {
+		jsonError(w, http.StatusRequestTimeout, "timed out reading request body")
+		return
+	}
+	jsonError(w, http.StatusBadRequest, err.Error())
 }

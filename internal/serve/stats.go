@@ -60,6 +60,9 @@ type Snapshot struct {
 	MinMargin float64 `json:"min_margin"`
 	// MinNGrams is the configured minimum n-grams for a known outcome.
 	MinNGrams int `json:"min_ngrams"`
+	// ProfileVersion is the registry version id currently serving, or
+	// "" when the profiles did not come from a registry.
+	ProfileVersion string `json:"profile_version,omitempty"`
 	// Languages is the served language inventory.
 	Languages []string `json:"languages"`
 	// Endpoints maps endpoint path to its counters.

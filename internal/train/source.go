@@ -1,0 +1,145 @@
+package train
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"bloomlang/internal/core"
+)
+
+// maxNDJSONLine bounds one NDJSON document line (16 MiB).
+const maxNDJSONLine = 16 << 20
+
+// ndjsonDoc is one training line: {"lang": "es", "text": "..."}.
+// "language" is accepted as an alias for "lang".
+type ndjsonDoc struct {
+	Lang     string `json:"lang"`
+	Language string `json:"language"`
+	Text     string `json:"text"`
+}
+
+// AddNDJSON ingests newline-delimited JSON documents of the form
+// {"lang": "es", "text": "..."} (blank lines skipped), holding one
+// line in memory at a time. It is the bulk-ingest mirror of the
+// serving subsystem's /stream wire format, with a language label
+// added.
+func (t *Trainer) AddNDJSON(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxNDJSONLine)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var doc ndjsonDoc
+		if err := json.Unmarshal(line, &doc); err != nil {
+			return fmt.Errorf("train: ndjson line %d: %w", lineno, err)
+		}
+		lang := doc.Lang
+		if lang == "" {
+			lang = doc.Language
+		}
+		if lang == "" {
+			return fmt.Errorf("train: ndjson line %d: missing \"lang\"", lineno)
+		}
+		if err := t.Add(lang, []byte(doc.Text)); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return fmt.Errorf("train: ndjson line %d exceeds %d bytes", lineno+1, maxNDJSONLine)
+		}
+		return fmt.Errorf("train: reading ndjson: %w", err)
+	}
+	return nil
+}
+
+// AddDir ingests the training split of a corpus directory tree in the
+// cmd/corpusgen layout (root/<lang>/train/*.txt), streaming one file
+// at a time — the corpus never materializes in memory. Language
+// directories without a train split are skipped.
+func (t *Trainer) AddDir(root string) error {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("train: reading %s: %w", root, err)
+	}
+	ingested := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		lang := e.Name()
+		dir := filepath.Join(root, lang, "train")
+		files, err := os.ReadDir(dir)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("train: reading %s: %w", dir, err)
+		}
+		names := make([]string, 0, len(files))
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".txt") {
+				continue
+			}
+			names = append(names, f.Name())
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := t.addFile(lang, filepath.Join(dir, name)); err != nil {
+				return err
+			}
+			ingested++
+		}
+	}
+	if ingested == 0 {
+		return fmt.Errorf("train: no training documents under %s", root)
+	}
+	return nil
+}
+
+func (t *Trainer) addFile(lang, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.AddReader(lang, f)
+}
+
+// NDJSON trains profiles from a newline-delimited JSON stream in one
+// call; see (*Trainer).AddNDJSON for the line format.
+func NDJSON(cfg core.Config, r io.Reader, opts ...Option) (*core.ProfileSet, Stats, error) {
+	t, err := New(cfg, opts...)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if err := t.AddNDJSON(r); err != nil {
+		t.Abort()
+		return nil, Stats{}, err
+	}
+	return t.Finalize()
+}
+
+// Dir trains profiles from a corpus directory tree's training split in
+// one call; see (*Trainer).AddDir for the layout.
+func Dir(cfg core.Config, root string, opts ...Option) (*core.ProfileSet, Stats, error) {
+	t, err := New(cfg, opts...)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if err := t.AddDir(root); err != nil {
+		t.Abort()
+		return nil, Stats{}, err
+	}
+	return t.Finalize()
+}

@@ -1,0 +1,38 @@
+package bloomlang
+
+import (
+	"bloomlang/internal/registry"
+)
+
+// Registry is the versioned on-disk profile store of the profile
+// lifecycle: every trained ProfileSet becomes an immutable checksummed
+// version, exactly one version is active at a time, and serving
+// processes hot-swap between versions without dropping a request.
+type Registry = registry.Registry
+
+// ProfileManifest describes one immutable registry version: id,
+// creation time, training configuration, corpus stats, and the
+// profile checksum Load verifies.
+type ProfileManifest = registry.Manifest
+
+// ProfileHandle is the lock-free hot-swap point between the profile
+// lifecycle and a serving path: readers atomically load the current
+// (detector, version) snapshot and never block on a swap.
+type ProfileHandle = registry.Handle
+
+// ProfileSnapshot is one immutable (detector, version) pairing served
+// by a ProfileHandle.
+type ProfileSnapshot = registry.Snapshot
+
+// ErrNoActiveProfile reports a registry with no activated version.
+var ErrNoActiveProfile = registry.ErrNoActive
+
+// OpenRegistry opens (creating if necessary) the profile registry
+// rooted at dir.
+func OpenRegistry(dir string) (*Registry, error) { return registry.Open(dir) }
+
+// NewProfileHandle returns a hot-swap handle serving det under the
+// given version id.
+func NewProfileHandle(det *Detector, version string) *ProfileHandle {
+	return registry.NewHandle(det, version)
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run the Detect benchmarks and write the results as JSON so the
+# performance trajectory is tracked per PR. Usage:
+#
+#   scripts/bench.sh [OUT.json] [BENCHTIME]
+#
+# Defaults: OUT=BENCH.json, BENCHTIME=200ms (raise for stable numbers,
+# e.g. scripts/bench.sh BENCH_pr3.json 1s).
+set -euo pipefail
+
+out=${1:-BENCH.json}
+benchtime=${2:-200ms}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'Detect' -benchtime "$benchtime" -benchmem ./... | tee "$raw" >&2
+
+awk -v goversion="$(go version | awk '{print $3}')" '
+BEGIN { n = 0 }
+/^Benchmark/ && NF >= 3 {
+  name = $1; iters = $2; ns = ""; bop = ""; aop = ""
+  for (i = 3; i < NF; i++) {
+    if ($(i+1) == "ns/op") ns = $i
+    if ($(i+1) == "B/op") bop = $i
+    if ($(i+1) == "allocs/op") aop = $i
+  }
+  if (ns == "") next
+  line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+  if (bop != "") line = line sprintf(", \"bytes_per_op\": %s", bop)
+  if (aop != "") line = line sprintf(", \"allocs_per_op\": %s", aop)
+  line = line "}"
+  bench[n++] = line
+}
+END {
+  printf "{\n"
+  printf "  \"go\": \"%s\",\n", goversion
+  printf "  \"benchmarks\": [\n"
+  for (i = 0; i < n; i++) printf "%s%s\n", bench[i], (i < n-1 ? "," : "")
+  printf "  ]\n"
+  printf "}\n"
+}' "$raw" > "$out"
+
+count=$(grep -c '"name"' "$out" || true)
+[ "$count" -gt 0 ] || { echo "bench: no benchmark results parsed" >&2; exit 1; }
+echo "bench: wrote $count results to $out" >&2

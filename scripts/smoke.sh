@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the profile lifecycle: generate a corpus,
+# train a registry version with the streaming trainer, serve it with
+# langidd, detect over HTTP, train + activate a second version, hot
+# swap it via /admin/reload, and assert /statsz reports the new
+# version. Run from the repository root: scripts/smoke.sh
+set -euo pipefail
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+addr="127.0.0.1:18321"
+base="http://$addr"
+
+echo "smoke: building binaries"
+go build -o "$tmp/bin/" ./cmd/corpusgen ./cmd/langid ./cmd/langidd
+
+echo "smoke: generating corpus"
+"$tmp/bin/corpusgen" -out "$tmp/corpus" -docs 40 -words 150 -train 0.25 -langs en,es,fi,pt >/dev/null
+
+echo "smoke: daemon with no profile source must exit non-zero with a clear message"
+if "$tmp/bin/langidd" -addr "$addr" 2>"$tmp/nosource.err"; then
+  fail "langidd with no profile source exited zero"
+fi
+grep -q "no profiles to serve" "$tmp/nosource.err" || fail "unclear no-source error: $(cat "$tmp/nosource.err")"
+
+echo "smoke: training v000001 into the registry"
+"$tmp/bin/langid" train -corpus "$tmp/corpus" -registry "$tmp/registry" -activate >/dev/null
+"$tmp/bin/langid" profiles -registry "$tmp/registry" | grep -q '^\* v000001' \
+  || fail "v000001 not listed as active"
+
+echo "smoke: starting langidd"
+"$tmp/bin/langidd" -registry "$tmp/registry" -addr "$addr" -max-body 65536 &
+daemon_pid=$!
+for i in $(seq 1 50); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  kill -0 "$daemon_pid" 2>/dev/null || fail "daemon died during startup"
+  sleep 0.1
+done
+curl -fsS "$base/healthz" >/dev/null || fail "daemon never became healthy"
+
+echo "smoke: /detect"
+detect=$(curl -fsS -X POST --data \
+  "el consejo y la comision adoptan todas las medidas necesarias para la aplicacion del presente reglamento" \
+  "$base/detect")
+echo "$detect" | grep -q '"language":"es"' || fail "/detect did not say es: $detect"
+
+echo "smoke: /statsz reports v000001"
+curl -fsS "$base/statsz" | grep -q '"profile_version":"v000001"' || fail "statsz not on v000001"
+
+echo "smoke: training + activating v000002"
+"$tmp/bin/langid" train -corpus "$tmp/corpus" -t 3000 -registry "$tmp/registry" -activate >/dev/null
+
+echo "smoke: /admin/reload hot swap"
+reload=$(curl -fsS -X POST "$base/admin/reload")
+echo "$reload" | grep -q '"active":"v000002"' || fail "reload did not activate v000002: $reload"
+echo "$reload" | grep -q '"changed":true' || fail "reload reported no change: $reload"
+curl -fsS "$base/statsz" | grep -q '"profile_version":"v000002"' || fail "statsz not on v000002"
+
+echo "smoke: detection still healthy after the swap"
+detect=$(curl -fsS -X POST --data \
+  "the council shall adopt the measures necessary for the application of this regulation" \
+  "$base/detect")
+echo "$detect" | grep -q '"language":"en"' || fail "post-swap /detect did not say en: $detect"
+
+echo "smoke: rollback + SIGHUP reload"
+"$tmp/bin/langid" profiles -registry "$tmp/registry" -rollback >/dev/null
+kill -HUP "$daemon_pid"
+for i in $(seq 1 50); do
+  curl -fsS "$base/statsz" | grep -q '"profile_version":"v000001"' && break
+  sleep 0.1
+done
+curl -fsS "$base/statsz" | grep -q '"profile_version":"v000001"' || fail "SIGHUP did not roll back to v000001"
+
+echo "smoke: oversized body answers 413 JSON"
+code=$(head -c 200000 /dev/zero | tr '\0' 'a' | \
+  curl -s -o "$tmp/413.json" -w '%{http_code}' -X POST --data-binary @- "$base/detect" || true)
+[ "$code" = "413" ] || fail "oversized body got $code, want 413"
+grep -q '"status":413' "$tmp/413.json" || fail "413 body is not the JSON envelope: $(cat "$tmp/413.json")"
+
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+echo "smoke: OK"

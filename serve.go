@@ -28,3 +28,17 @@ func NewServer(ps *ProfileSet, cfg ServeConfig) (*Server, error) {
 func NewServerFromClassifier(clf *Classifier, cfg ServeConfig) *Server {
 	return serve.NewFromClassifier(clf, cfg)
 }
+
+// ReloadStatus reports one profile hot-swap outcome.
+type ReloadStatus = serve.ReloadStatus
+
+// ProfilesStatus is the /admin/profiles payload: the serving version,
+// the registry's active version, and every version manifest.
+type ProfilesStatus = serve.ProfilesStatus
+
+// NewServerFromRegistry builds the serving subsystem from the
+// registry's active profile version; the server reloads (hot-swaps)
+// versions via (*Server).Reload and the /admin endpoints.
+func NewServerFromRegistry(reg *Registry, cfg ServeConfig) (*Server, error) {
+	return serve.NewFromRegistry(reg, cfg)
+}
