@@ -230,10 +230,11 @@ func BenchmarkTable4SystemComparison(b *testing.B) {
 // ---------------------------------------------------------------------------
 // Ablation benchmarks (DESIGN.md §5).
 
-// BenchmarkAblationBackends compares the three membership backends on
+// BenchmarkAblationBackends compares the four membership backends on
 // identical work: the paper's parallel Bloom filter, exact direct
-// lookup, and a classic single-vector Bloom filter of the same total
-// bit budget.
+// lookup, a classic single-vector Bloom filter of the same total bit
+// budget, and the fused cache-line-blocked filter sized for the same
+// modelled false-positive rate.
 func BenchmarkAblationBackends(b *testing.B) {
 	corp, ps := benchFixtures(b)
 	docs := corp.TestDocuments("")[:100]
@@ -241,7 +242,7 @@ func BenchmarkAblationBackends(b *testing.B) {
 	for _, d := range docs {
 		bytes += int64(len(d.Text))
 	}
-	for _, backend := range []Backend{BackendBloom, BackendDirect, BackendClassic} {
+	for _, backend := range []Backend{BackendBloom, BackendDirect, BackendClassic, BackendBlocked} {
 		b.Run(backend.String(), func(b *testing.B) {
 			clf, err := NewClassifier(ps, backend)
 			if err != nil {

@@ -55,6 +55,7 @@ const (
 	BackendBloom   = core.BackendBloom
 	BackendDirect  = core.BackendDirect
 	BackendClassic = core.BackendClassic
+	BackendBlocked = core.BackendBlocked
 )
 
 // Matcher is one language's membership structure; implement it to

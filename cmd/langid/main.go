@@ -8,6 +8,7 @@
 // versioned registry:
 //
 //	langid train -corpus corpusdir -out profiles.bin [-n 4] [-t 5000] [-shards 4]
+//	langid train -corpus corpusdir -out profiles.bin -blocked   # embed the blocked layout
 //	langid train -ndjson docs.ndjson -registry /var/lib/langid -activate
 //	cat docs.ndjson | langid train -ndjson - -registry /var/lib/langid
 //
@@ -22,7 +23,7 @@
 //
 // Classify files (or stdin when no files are given):
 //
-//	langid classify -profiles profiles.bin [-k 4] [-m 16384] [-backend bloom] file1.txt file2.txt
+//	langid classify -profiles profiles.bin [-k 4] [-m 16384] [-backend bloom|direct|classic|blocked] file1.txt file2.txt
 //	echo "el consejo de la unión europea" | langid classify -profiles profiles.bin
 package main
 
@@ -120,6 +121,7 @@ func train(args []string) {
 	n := fs.Int("n", 4, "n-gram length")
 	t := fs.Int("t", 5000, "profile size (top-t n-grams)")
 	shards := fs.Int("shards", 0, "trainer accumulator shards (0 = min(GOMAXPROCS, 4))")
+	blocked := fs.Bool("blocked", false, "embed the pre-programmed blocked-backend layout in -out (NGPS v2)")
 	fs.Parse(args)
 	if (*corpusDir == "") == (*ndjson == "") {
 		log.Fatal("train: pass exactly one of -corpus or -ndjson")
@@ -129,6 +131,9 @@ func train(args []string) {
 	}
 	if *activate && *registryDir == "" {
 		log.Fatal("train: -activate requires -registry")
+	}
+	if *blocked && *out == "" {
+		log.Fatal("train: -blocked requires -out (registry versions store the standard NGPS v1 format)")
 	}
 	cfg := bloomlang.DefaultConfig()
 	cfg.N = *n
@@ -164,10 +169,18 @@ func train(args []string) {
 			p.Language, bloomlang.LanguageName(p.Language), p.Size(), ls.Docs)
 	}
 	if *out != "" {
-		if err := bloomlang.SaveProfiles(ps, *out); err != nil {
+		save := bloomlang.SaveProfiles
+		if *blocked {
+			save = bloomlang.SaveProfilesBlocked
+		}
+		if err := save(ps, *out); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *out)
+		if *blocked {
+			fmt.Printf("wrote %s (blocked layout embedded)\n", *out)
+		} else {
+			fmt.Printf("wrote %s\n", *out)
+		}
 	}
 	if *registryDir != "" {
 		reg, err := bloomlang.OpenRegistry(*registryDir)
@@ -258,7 +271,7 @@ func classify(args []string) {
 	profilePath := fs.String("profiles", "profiles.bin", "trained profile file")
 	k := fs.Int("k", 4, "hash functions per Bloom filter")
 	m := fs.Uint("m", 16*1024, "bits per Bloom filter vector (power of two)")
-	backend := fs.String("backend", "bloom", "membership backend: bloom, direct or classic")
+	backend := fs.String("backend", "bloom", "membership backend: bloom, direct, classic or blocked")
 	minMargin := fs.Float64("min-margin", 0, "answer unknown below this normalized winner margin")
 	minNGrams := fs.Int("min-ngrams", 1, "answer unknown below this many testable n-grams")
 	verbose := fs.Bool("v", false, "print the full language ranking")

@@ -48,16 +48,56 @@
 //
 // # Membership backends
 //
-// The membership structure is an open registry. Three ship built in:
+// The membership structure is an open registry. Four ship built in:
 // the paper's Parallel Bloom Filter ("parallel-bloom"/"bloom"), HAIL's
-// exact direct lookup ("direct-lookup"/"direct"), and a classic
-// single-vector Bloom filter ("classic-bloom"/"classic").
+// exact direct lookup ("direct-lookup"/"direct"), a classic
+// single-vector Bloom filter ("classic-bloom"/"classic"), and a fused
+// cache-line-blocked Bloom filter ("blocked-bloom"/"blocked").
 // ParseBackend resolves any registered name or alias (the CLIs' -backend
 // flag is exactly this), Backend.String round-trips it back, and
-// RegisterBackend plugs in new implementations:
+// RegisterBackend plugs in new implementations (RegisterFusedBackend
+// for backends that score all languages per n-gram in one pass):
 //
 //	fast := bloomlang.RegisterBackend("my-backend", myBuilder, "mine")
 //	det, _ := bloomlang.NewDetector(profiles, bloomlang.WithBackend(fast))
+//
+// The blocked backend is the software analogue of the paper's
+// one-clock membership test. The hardware answers all k hash probes in
+// a single cycle because its bit-vectors are physically parallel RAMs
+// (§3.1); the blocked filter gets the same effect from the cache
+// hierarchy: the first H3 hash selects one 64-byte block — a single
+// cache line — and the remaining k−1 hashes select bits inside it, so
+// a membership test costs one line fill regardless of k. The filters
+// of all L languages are fused into one structure, laid out
+// block-major and language-minor with one shared hash stage:
+//
+//	                 lang 0     lang 1         lang L-1
+//	block 0      [64 bytes] [64 bytes] ... [64 bytes]
+//	block 1      [64 bytes] [64 bytes] ... [64 bytes]
+//	...
+//	block B-1    [64 bytes] [64 bytes] ... [64 bytes]
+//
+//	n-gram g:  h0(g) picks the block row — computed once —
+//	           h1..h(k-1)(g) pick the probe bits — computed once —
+//	           then the L adjacent blocks of that row are tested in
+//	           sequence: one pass over L consecutive cache lines
+//	           scores every language (AccumulateInto).
+//
+// Per-language filters are sized (power-of-two block count) so the
+// modelled false-positive rate at full profile load is no worse than
+// the parallel backend's §3.1 model under the same Config; the n-gram
+// scoring loop runs several times faster than the parallel backend
+// because hashing is shared across languages and probes never leave
+// one cache line per language. Prefer "blocked" for software serving
+// throughput; prefer "bloom" when simulated-hardware and software
+// classifications must share filter state bit-for-bit (the XD1000
+// simulator borrows the parallel filters); "direct" is exact
+// membership at a much larger memory footprint; "classic" exists as
+// an ablation. SaveProfilesBlocked embeds the programmed blocked
+// layout in the profile file (NGPS v2), so a daemon serving "blocked"
+// skips filter programming at startup; v1 files and legacy NGPF
+// streams remain readable, and damaged files fail with errors tagged
+// ErrCorruptProfiles.
 //
 // # Architecture
 //

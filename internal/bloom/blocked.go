@@ -1,0 +1,463 @@
+package bloom
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"bloomlang/internal/h3"
+)
+
+// Blocked Bloom filters: the software analogue of the paper's
+// one-clock membership test. The hardware answers all k hash probes
+// for an n-gram in a single cycle because the k bit-vectors are
+// physically parallel RAMs (§3.1). A cache-line-blocked filter gets
+// the same effect from a memory hierarchy: the first hash selects one
+// 64-byte block — a single cache line — and the remaining k−1 hashes
+// select bits inside that block, so the whole membership test costs
+// one line fill no matter how many probes follow.
+//
+// BlockedSet fuses the filters of all L languages into one structure:
+// the per-language blocks for a given block index are laid out
+// contiguously (block-major, language-minor), so scoring one n-gram
+// against every language touches L consecutive cache lines and the k
+// hashes are computed once instead of once per language — the
+// software mirror of the hardware scoring all language classifiers
+// from one shared hash stage (Figure 1).
+
+const (
+	// BlockBits is the block size: 512 bits = 64 bytes, one x86 cache
+	// line (and one DDR burst), the unit the hardware analogy is built
+	// on.
+	BlockBits = 512
+	// BlockWords is the block size in 64-bit words.
+	BlockWords = BlockBits / 64
+	// blockBitAddr is the hash width that addresses a bit within a
+	// block: log2(BlockBits).
+	blockBitAddr = 9
+	// maxProbes bounds the in-block probe count (k−1); with more than
+	// eight probes in 512 bits the filter saturates long before the
+	// probe loop is the problem.
+	maxProbes = 8
+	// maxBlocks bounds the per-language block count a constructor or
+	// reader will accept (2^22 blocks = 256 MiB per language).
+	maxBlocks = 1 << 22
+	// maxSetLangs bounds the language count a reader will accept.
+	maxSetLangs = 1 << 16
+)
+
+// BlockedSet is the fused blocked Bloom filter of L languages: B
+// blocks of 512 bits per language, stored block-major and
+// language-minor, with one shared block-select hash and k−1 shared
+// in-block bit hashes (all from the H3 family, as in the hardware).
+// Sharing the hash functions across languages is what makes the
+// fused layout possible: one n-gram maps to the same block index b in
+// every language, and the L blocks at index b are adjacent in memory.
+// Each language's filter remains free of false negatives; false
+// positives stay independent across languages because each language
+// programs its own bit pattern.
+type BlockedSet struct {
+	sel    *h3.Func   // block selector: log2(blocks) output bits
+	probe  []*h3.Func // k−1 in-block bit selectors: 9 output bits
+	words  []uint64   // blocks × langs × BlockWords, block-major
+	ns     []int      // per-language programmed element count
+	blocks uint32     // power of two ≥ 2
+	nLangs int
+	k      int
+	seed   int64
+	inBits uint
+}
+
+// NewBlockedSet builds an empty fused filter for langs languages with
+// k hash functions (one block selector plus k−1 bit probes) over
+// inputBits-wide elements and blocks 512-bit blocks per language.
+// blocks must be a power of two so the selector hash addresses blocks
+// directly, exactly as the parallel variant addresses its vectors.
+func NewBlockedSet(langs, k int, inputBits uint, blocks uint32, seed int64) (*BlockedSet, error) {
+	if langs < 1 {
+		return nil, fmt.Errorf("bloom: blocked set needs at least one language, got %d", langs)
+	}
+	if langs > maxSetLangs {
+		return nil, fmt.Errorf("bloom: blocked set language count %d exceeds %d", langs, maxSetLangs)
+	}
+	if k < 2 || k > 1+maxProbes {
+		return nil, fmt.Errorf("bloom: blocked filter needs k in [2,%d] (one block-select hash plus k-1 bit probes), got k=%d", 1+maxProbes, k)
+	}
+	if blocks < 2 || blocks&(blocks-1) != 0 {
+		return nil, fmt.Errorf("bloom: block count %d is not a power of two >= 2", blocks)
+	}
+	if blocks > maxBlocks {
+		return nil, fmt.Errorf("bloom: block count %d exceeds %d", blocks, maxBlocks)
+	}
+	addrBits := uint(0)
+	for 1<<addrBits < blocks {
+		addrBits++
+	}
+	selFam, err := h3.NewFamily(1, inputBits, addrBits, seed)
+	if err != nil {
+		return nil, err
+	}
+	probeFam, err := h3.NewFamily(k-1, inputBits, blockBitAddr, seed+0x9E3779B9)
+	if err != nil {
+		return nil, err
+	}
+	s := &BlockedSet{
+		sel:    selFam.Func(0),
+		probe:  make([]*h3.Func, k-1),
+		words:  make([]uint64, int(blocks)*langs*BlockWords),
+		ns:     make([]int, langs),
+		blocks: blocks,
+		nLangs: langs,
+		k:      k,
+		seed:   seed,
+		inBits: inputBits,
+	}
+	for i := range s.probe {
+		s.probe[i] = probeFam.Func(i)
+	}
+	return s, nil
+}
+
+// Langs returns the number of fused languages.
+func (s *BlockedSet) Langs() int { return s.nLangs }
+
+// K returns the number of hash functions (block selector included).
+func (s *BlockedSet) K() int { return s.k }
+
+// Blocks returns the per-language block count.
+func (s *BlockedSet) Blocks() uint32 { return s.blocks }
+
+// BitsPerLanguage returns one language's filter size in bits.
+func (s *BlockedSet) BitsPerLanguage() uint64 { return uint64(s.blocks) * BlockBits }
+
+// N returns the number of elements programmed into language lang.
+func (s *BlockedSet) N(lang int) int { return s.ns[lang] }
+
+// Seed returns the construction seed, for serialization.
+func (s *BlockedSet) Seed() int64 { return s.seed }
+
+// InputBits returns the hash input width, for serialization.
+func (s *BlockedSet) InputBits() uint { return s.inBits }
+
+// Add programs element g into language lang's filter: the selector
+// hash picks the block, every probe hash sets one bit inside it.
+func (s *BlockedSet) Add(lang int, g uint32) {
+	base := (int(s.sel.Hash(g))*s.nLangs + lang) * BlockWords
+	blk := s.words[base : base+BlockWords : base+BlockWords]
+	for _, f := range s.probe {
+		h := f.Hash(g)
+		blk[h>>6] |= 1 << (h & 63)
+	}
+	s.ns[lang]++
+}
+
+// AddAll programs every element of gs into language lang.
+func (s *BlockedSet) AddAll(lang int, gs []uint32) {
+	for _, g := range gs {
+		s.Add(lang, g)
+	}
+}
+
+// Test reports whether g may be a member of language lang's filter. A
+// true result may be a false positive; a false result is definitive —
+// Add sets exactly the bits Test probes, so the filter never produces
+// a false negative.
+func (s *BlockedSet) Test(lang int, g uint32) bool {
+	base := (int(s.sel.Hash(g))*s.nLangs + lang) * BlockWords
+	blk := s.words[base : base+BlockWords : base+BlockWords]
+	for _, f := range s.probe {
+		h := f.Hash(g)
+		if blk[h>>6]&(1<<(h&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AccumulateInto is the fused scoring kernel: for every n-gram in gs
+// it tests all L languages in one pass, adding each language's match
+// count into counts (len >= Langs). The k hashes are computed once
+// per n-gram; the L per-language blocks share a block index and sit
+// on consecutive cache lines. It allocates nothing.
+func (s *BlockedSet) AccumulateInto(counts []int, gs []uint32) {
+	L := s.nLangs
+	_ = counts[L-1]
+	if len(s.probe) == 3 {
+		s.accumulate3(counts, gs)
+		return
+	}
+	words := s.words
+	stride := L * BlockWords
+	var wi [maxProbes]uint32
+	var mask [maxProbes]uint64
+	j := len(s.probe)
+	for _, g := range gs {
+		base := int(s.sel.Hash(g)) * stride
+		for p := 0; p < j; p++ {
+			h := s.probe[p].Hash(g)
+			wi[p] = h >> 6
+			mask[p] = 1 << (h & 63)
+		}
+		for lang := 0; lang < L; lang++ {
+			blk := words[base : base+BlockWords : base+BlockWords]
+			hit := true
+			for p := 0; p < j; p++ {
+				if blk[wi[p]]&mask[p] == 0 {
+					hit = false
+					break
+				}
+			}
+			if hit {
+				counts[lang]++
+			}
+			base += BlockWords
+		}
+	}
+}
+
+// accumulate3 is AccumulateInto specialized for the paper's default
+// k=4 (three in-block probes), with the probe loop unrolled.
+func (s *BlockedSet) accumulate3(counts []int, gs []uint32) {
+	words := s.words
+	L := s.nLangs
+	stride := L * BlockWords
+	sel, p0, p1, p2 := s.sel, s.probe[0], s.probe[1], s.probe[2]
+	for _, g := range gs {
+		base := int(sel.Hash(g)) * stride
+		a, b, c := p0.Hash(g), p1.Hash(g), p2.Hash(g)
+		w0, m0 := a>>6, uint64(1)<<(a&63)
+		w1, m1 := b>>6, uint64(1)<<(b&63)
+		w2, m2 := c>>6, uint64(1)<<(c&63)
+		for lang := 0; lang < L; lang++ {
+			blk := words[base : base+BlockWords : base+BlockWords]
+			if blk[w0]&m0 != 0 && blk[w1]&m1 != 0 && blk[w2]&m2 != 0 {
+				counts[lang]++
+			}
+			base += BlockWords
+		}
+	}
+}
+
+// Reset clears every language's filter and programmed-element count.
+func (s *BlockedSet) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	for i := range s.ns {
+		s.ns[i] = 0
+	}
+}
+
+// PopCount returns the number of set bits in language lang's filter.
+func (s *BlockedSet) PopCount(lang int) int {
+	n := 0
+	stride := s.nLangs * BlockWords
+	for b := 0; b < int(s.blocks); b++ {
+		base := b*stride + lang*BlockWords
+		for _, w := range s.words[base : base+BlockWords] {
+			n += popcount64(w)
+		}
+	}
+	return n
+}
+
+// modelM is the per-probe bit budget the §3.1 parallel model sees:
+// the language's total bits split evenly across the k−1 probes.
+func (s *BlockedSet) modelM() uint32 {
+	return uint32(s.BitsPerLanguage() / uint64(len(s.probe)))
+}
+
+// FalsePositiveRate returns the expected false positive rate of
+// language lang's filter under the paper's §3.1 parallel-variant
+// model f = (1 − e^(−N/m))^k applied with k−1 probes and
+// m = totalBits/(k−1). The uniform model is exact for the parallel
+// filter; blocking adds a small penalty from the Poisson spread of
+// elements across blocks, which BlocksForTarget's safety factor
+// absorbs.
+func (s *BlockedSet) FalsePositiveRate(lang int) float64 {
+	return FalsePositiveRate(s.ns[lang], s.modelM(), len(s.probe))
+}
+
+// blockSafety discounts the FPR target BlocksForTarget sizes for, to
+// absorb the load-variance penalty of blocking (uneven block
+// occupancy makes the realized rate exceed the uniform model).
+const blockSafety = 0.7
+
+// BlocksForTarget returns the smallest power-of-two block count whose
+// modelled false positive rate at load n with k total hashes (k−1
+// in-block probes) does not exceed target, with blockSafety headroom
+// for the blocking penalty. The result is clamped to [2, maxBlocks].
+func BlocksForTarget(n, k int, target float64) uint32 {
+	j := k - 1
+	if j < 1 {
+		j = 1
+	}
+	blocks := uint32(2)
+	t := target * blockSafety
+	if n <= 0 || t <= 0 || t >= 1 {
+		return blocks
+	}
+	perProbe := math.Pow(t, 1/float64(j))
+	if perProbe >= 1 {
+		return blocks
+	}
+	// (1 − e^(−j·n/T))^j ≤ t  ⇔  T ≥ −j·n / ln(1 − t^(1/j))
+	minBits := -float64(j) * float64(n) / math.Log(1-perProbe)
+	for float64(blocks)*BlockBits < minBits && blocks < maxBlocks {
+		blocks <<= 1
+	}
+	return blocks
+}
+
+// Blocked is a single-language cache-line-blocked Bloom filter: the
+// BlockedSet structure with L=1, for standalone use and for the
+// property tests that pin the false-positive model.
+type Blocked struct {
+	set *BlockedSet
+}
+
+// NewBlocked builds an empty blocked filter with k hash functions
+// (one block selector plus k−1 bit probes) over inputBits-wide
+// elements and blocks 512-bit blocks (a power of two ≥ 2).
+func NewBlocked(k int, inputBits uint, blocks uint32, seed int64) (*Blocked, error) {
+	set, err := NewBlockedSet(1, k, inputBits, blocks, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Blocked{set: set}, nil
+}
+
+// K returns the number of hash functions (block selector included).
+func (b *Blocked) K() int { return b.set.K() }
+
+// Blocks returns the block count.
+func (b *Blocked) Blocks() uint32 { return b.set.Blocks() }
+
+// Bits returns the filter size in bits.
+func (b *Blocked) Bits() uint64 { return b.set.BitsPerLanguage() }
+
+// N returns the number of programmed elements.
+func (b *Blocked) N() int { return b.set.N(0) }
+
+// Add programs element g.
+func (b *Blocked) Add(g uint32) { b.set.Add(0, g) }
+
+// AddAll programs every element of gs.
+func (b *Blocked) AddAll(gs []uint32) { b.set.AddAll(0, gs) }
+
+// Test reports possible membership of g (never a false negative).
+func (b *Blocked) Test(g uint32) bool { return b.set.Test(0, g) }
+
+// Reset clears the filter.
+func (b *Blocked) Reset() { b.set.Reset() }
+
+// PopCount returns the number of set bits.
+func (b *Blocked) PopCount() int { return b.set.PopCount(0) }
+
+// FalsePositiveRate returns the modelled false positive rate at
+// current load; see (*BlockedSet).FalsePositiveRate.
+func (b *Blocked) FalsePositiveRate() float64 { return b.set.FalsePositiveRate(0) }
+
+// Blocked-set serialization: the programmed bits are a pure function
+// of (seed, k, inputBits, blocks, insertion multiset), so the format
+// records the construction parameters, the per-language counts, and
+// the raw words. Writing the same set twice produces identical bytes.
+//
+//	magic "NGBK" | version u8 | k u8 | inputBits u8 | blocks u32 |
+//	langs u32 | seed i64 | langs × n u32 | blocks·langs·8 × word u64
+const (
+	blockedSetMagic   = "NGBK"
+	blockedSetVersion = 1
+)
+
+// WriteTo serializes the set in the NGBK binary format.
+func (s *BlockedSet) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	if _, err := bw.WriteString(blockedSetMagic); err != nil {
+		return written, err
+	}
+	written += int64(len(blockedSetMagic))
+	put := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		written += int64(binary.Size(data))
+		return nil
+	}
+	if err := put(uint8(blockedSetVersion)); err != nil {
+		return written, err
+	}
+	if err := put(uint8(s.k)); err != nil {
+		return written, err
+	}
+	if err := put(uint8(s.inBits)); err != nil {
+		return written, err
+	}
+	if err := put(s.blocks); err != nil {
+		return written, err
+	}
+	if err := put(uint32(s.nLangs)); err != nil {
+		return written, err
+	}
+	if err := put(s.seed); err != nil {
+		return written, err
+	}
+	ns := make([]uint32, len(s.ns))
+	for i, n := range s.ns {
+		ns[i] = uint32(n)
+	}
+	if err := put(ns); err != nil {
+		return written, err
+	}
+	if err := put(s.words); err != nil {
+		return written, err
+	}
+	return written, bw.Flush()
+}
+
+// ReadBlockedSet deserializes a set written by WriteTo.
+func ReadBlockedSet(r io.Reader) (*BlockedSet, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(blockedSetMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("bloom: reading blocked set magic: %w", err)
+	}
+	if string(magic) != blockedSetMagic {
+		return nil, fmt.Errorf("bloom: bad blocked set magic %q, want %q", magic, blockedSetMagic)
+	}
+	var hdr struct {
+		Version   uint8
+		K         uint8
+		InputBits uint8
+		Blocks    uint32
+		Langs     uint32
+		Seed      int64
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("bloom: reading blocked set header: %w", err)
+	}
+	if hdr.Version != blockedSetVersion {
+		return nil, fmt.Errorf("bloom: unsupported blocked set version %d", hdr.Version)
+	}
+	if hdr.Langs == 0 || hdr.Langs > maxSetLangs {
+		return nil, fmt.Errorf("bloom: blocked set claims %d languages, refusing", hdr.Langs)
+	}
+	s, err := NewBlockedSet(int(hdr.Langs), int(hdr.K), uint(hdr.InputBits), hdr.Blocks, hdr.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("bloom: blocked set header invalid: %w", err)
+	}
+	for i := range s.ns {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("bloom: reading blocked set counts: %w", err)
+		}
+		s.ns[i] = int(n)
+	}
+	if err := binary.Read(br, binary.LittleEndian, s.words); err != nil {
+		return nil, fmt.Errorf("bloom: reading blocked set words: %w", err)
+	}
+	return s, nil
+}

@@ -11,7 +11,7 @@ import (
 // rely on: every registered backend's String() parses back to itself,
 // and the historical aliases keep working.
 func TestBackendStringParseRoundTrip(t *testing.T) {
-	for _, b := range []Backend{BackendBloom, BackendDirect, BackendClassic} {
+	for _, b := range []Backend{BackendBloom, BackendDirect, BackendClassic, BackendBlocked} {
 		got, err := ParseBackend(b.String())
 		if err != nil {
 			t.Fatalf("ParseBackend(%q): %v", b.String(), err)
@@ -24,6 +24,7 @@ func TestBackendStringParseRoundTrip(t *testing.T) {
 		"bloom":   BackendBloom,
 		"direct":  BackendDirect,
 		"classic": BackendClassic,
+		"blocked": BackendBlocked,
 	}
 	for name, want := range aliases {
 		got, err := ParseBackend(name)
@@ -48,7 +49,7 @@ func TestParseBackendUnknownNameListsChoices(t *testing.T) {
 
 func TestBackendsListsCanonicalNames(t *testing.T) {
 	names := Backends()
-	want := map[string]bool{"parallel-bloom": false, "direct-lookup": false, "classic-bloom": false}
+	want := map[string]bool{"parallel-bloom": false, "direct-lookup": false, "classic-bloom": false, "blocked-bloom": false}
 	for _, n := range names {
 		if _, ok := want[n]; ok {
 			want[n] = true
@@ -100,6 +101,43 @@ func TestRegisterBackendExtendsClassifier(t *testing.T) {
 	}
 	if m.Lang != det.Languages()[0] {
 		t.Errorf("tie broke to %q, want first language %q", m.Lang, det.Languages()[0])
+	}
+}
+
+// rejectAll is a fused kernel that matches nothing — it exists only to
+// prove third-party fused backends plug in through the registry.
+type rejectAll struct{ langs int }
+
+func (rejectAll) AccumulateInto([]int, []uint32) {}
+func (rejectAll) Test(int, uint32) bool          { return false }
+
+func TestRegisterFusedBackendExtendsClassifier(t *testing.T) {
+	b := RegisterFusedBackend("test-reject-all", func(cfg Config, ps *ProfileSet) (Kernel, error) {
+		return rejectAll{langs: len(ps.Profiles)}, nil
+	}, "reject")
+	if got, err := ParseBackend("reject"); err != nil || got != b {
+		t.Fatalf("ParseBackend(alias) = %v, %v", got, err)
+	}
+	ps := trainMini(t, Config{TopT: 500})
+	det, err := NewDetector(ps, WithBackend(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte("fused registrations must flow through the same registry")
+	m := det.Detect(doc)
+	// Nothing matches anything: zero counts everywhere, tie broken to
+	// the first language with score 0.
+	if m.Count != 0 || m.Score != 0 || m.NGrams == 0 {
+		t.Errorf("reject-all detect = %+v", m)
+	}
+}
+
+func TestBlockedBackendRejectsSingleHash(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 500})
+	single := &ProfileSet{Config: ps.Config, Profiles: ps.Profiles}
+	single.Config.K = 1
+	if _, err := New(single, BackendBlocked); err == nil {
+		t.Error("blocked backend accepted k=1 (no bit probes left after block select)")
 	}
 }
 

@@ -122,7 +122,17 @@ func (c Config) ExpectedFalsePositiveRate() float64 {
 type ProfileSet struct {
 	Config   Config
 	Profiles []*ngram.Profile // sorted by language code
+	// blocked is the pre-programmed blocked-backend layout carried by
+	// an NGPS v2 file, when present. New(ps, BackendBlocked) uses it
+	// directly (after a consistency check) instead of re-programming
+	// the filters from Profiles at load time.
+	blocked *bloom.BlockedSet
 }
+
+// HasBlockedLayout reports whether the set carries a pre-programmed
+// blocked-backend layout (read from an NGPS v2 file or materialized by
+// WriteToBlocked).
+func (ps *ProfileSet) HasBlockedLayout() bool { return ps.blocked != nil }
 
 // Train builds per-language profiles from the corpus training split.
 func Train(cfg Config, corp *corpus.Corpus) (*ProfileSet, error) {
@@ -184,6 +194,11 @@ const (
 	// BackendClassic uses a classic single-vector Bloom filter with the
 	// same total bit budget (k·m bits) as the parallel variant.
 	BackendClassic
+	// BackendBlocked uses a cache-line-blocked Bloom filter fused
+	// across all languages: one 512-bit block per n-gram per language,
+	// all k probes inside it, per-language blocks contiguous so one
+	// n-gram's full scoring pass touches L consecutive cache lines.
+	BackendBlocked
 )
 
 // directTable is an exact membership bitset over the packed n-gram
@@ -207,6 +222,7 @@ type Classifier struct {
 	backend  Backend
 	langs    []string
 	matchers []Matcher
+	fused    Kernel            // non-nil for fused backends; scores all languages per n-gram
 	filters  []*bloom.Parallel // non-nil iff every matcher is a Parallel Bloom Filter
 	// extractor is the prototype n-gram extractor, configured once at
 	// construction. It is never fed directly: the hot paths copy it by
@@ -225,7 +241,7 @@ func New(ps *ProfileSet, backend Backend) (*Classifier, error) {
 	if len(ps.Profiles) == 0 {
 		return nil, fmt.Errorf("core: empty profile set")
 	}
-	build, err := backend.builder()
+	build, buildSet, err := backend.builders()
 	if err != nil {
 		return nil, err
 	}
@@ -240,11 +256,26 @@ func New(ps *ProfileSet, backend Backend) (*Classifier, error) {
 		}
 	}
 	c.extractor = *e
-	for i, p := range ps.Profiles {
+	for _, p := range ps.Profiles {
 		if p.N != cfg.N {
 			return nil, fmt.Errorf("core: profile %q has n=%d, config has n=%d", p.Language, p.N, cfg.N)
 		}
 		c.langs = append(c.langs, p.Language)
+	}
+	if buildSet != nil {
+		// Fused backend: one kernel scores every language per n-gram;
+		// matchers are per-language views of the same kernel.
+		k, err := buildSet(cfg, ps)
+		if err != nil {
+			return nil, err
+		}
+		c.fused = k
+		for i := range ps.Profiles {
+			c.matchers = append(c.matchers, kernelMatcher{k: k, lang: i})
+		}
+		return c, nil
+	}
+	for i, p := range ps.Profiles {
 		m, err := build(cfg, i, p)
 		if err != nil {
 			return nil, err
@@ -361,6 +392,21 @@ func (c *Classifier) ClassifyGrams(gs []uint32) Result {
 // countInto runs the match-counting inner loop into a caller-owned
 // counts slice (len(Languages())), allocating nothing.
 func (c *Classifier) countInto(counts []int, gs []uint32) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	c.accumulateInto(counts, gs)
+}
+
+// accumulateInto adds each language's match count over gs into counts.
+// Fused backends score all languages per n-gram in one pass through
+// the kernel; per-language backends walk the languages×grams loop.
+// Streams accumulate across chunks through the same path.
+func (c *Classifier) accumulateInto(counts []int, gs []uint32) {
+	if c.fused != nil {
+		c.fused.AccumulateInto(counts, gs)
+		return
+	}
 	for i, m := range c.matchers {
 		count := 0
 		for _, g := range gs {
@@ -368,7 +414,7 @@ func (c *Classifier) countInto(counts []int, gs []uint32) {
 				count++
 			}
 		}
-		counts[i] = count
+		counts[i] += count
 	}
 }
 

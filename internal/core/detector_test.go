@@ -271,19 +271,22 @@ func TestDetectorStream(t *testing.T) {
 }
 
 // TestDetectZeroAllocations is the hot-path discipline check: a warm
-// detector classifies without allocating.
+// detector classifies without allocating, on every built-in backend —
+// the fused blocked kernel included.
 func TestDetectZeroAllocations(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; CI runs this test again without -race")
 	}
 	ps := trainMini(t, Config{TopT: 1000})
-	det, err := NewDetector(ps)
-	if err != nil {
-		t.Fatal(err)
-	}
 	doc := getMiniCorpus(t).Test["es"][0].Text
-	det.Detect(doc) // warm the scratch pool
-	if allocs := testing.AllocsPerRun(200, func() { det.Detect(doc) }); allocs != 0 {
-		t.Errorf("Detect allocates %.1f objects per call, want 0", allocs)
+	for _, backend := range []Backend{BackendBloom, BackendDirect, BackendClassic, BackendBlocked} {
+		det, err := NewDetector(ps, WithBackend(backend))
+		if err != nil {
+			t.Fatal(err)
+		}
+		det.Detect(doc) // warm the scratch pool
+		if allocs := testing.AllocsPerRun(200, func() { det.Detect(doc) }); allocs != 0 {
+			t.Errorf("%s: Detect allocates %.1f objects per call, want 0", backend, allocs)
+		}
 	}
 }

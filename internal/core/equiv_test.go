@@ -1,18 +1,129 @@
 package core
 
-// Equivalence guarantees the serving layer leans on: a document fed to
-// DocumentStream in any chunking — including splits landing mid-n-gram
-// — produces the identical Result as one-shot classification, and the
-// engine's parallel fan-out returns results in input order at any
-// worker count.
+// Equivalence guarantees the serving layer leans on: every backend —
+// the fused blocked kernel included — produces the identical decision
+// on every input path (one-shot bytes, reader, incremental stream,
+// batch), a document fed to DocumentStream in any chunking — including
+// splits landing mid-n-gram — produces the identical Result as
+// one-shot classification, and the engine's parallel fan-out returns
+// results in input order at any worker count.
 
 import (
+	"bytes"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"bloomlang/internal/corpus"
 )
+
+// equivBackends is the full built-in backend matrix the equivalence
+// suite runs over.
+var equivBackends = []Backend{BackendBloom, BackendDirect, BackendClassic, BackendBlocked}
+
+// TestDetectEquivalenceAcrossPaths pins Detect ≡ Classify ≡ Rank over
+// every built-in backend and every input path: the one-shot byte
+// path, the io.Reader path, the incremental stream path, and the
+// batch path must all return the identical Match, Rank's head must
+// agree with Detect, and Match must be derivable from the legacy
+// Classify result.
+func TestDetectEquivalenceAcrossPaths(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 1000})
+	corp := getMiniCorpus(t)
+	for _, backend := range equivBackends {
+		t.Run(backend.String(), func(t *testing.T) {
+			det, err := NewDetector(ps, WithBackend(backend))
+			if err != nil {
+				t.Fatal(err)
+			}
+			clf := det.Classifier()
+			var docs []corpus.Document
+			for _, lang := range []string{"en", "es", "fi", "pt"} {
+				docs = append(docs, corp.Test[lang][0], corp.Test[lang][1])
+			}
+			docs = append(docs, corpus.Document{}) // empty document -> Unknown on every path
+			batch := det.DetectBatch(docs)
+			for i, doc := range docs {
+				want := det.Detect(doc.Text)
+
+				if got, err := det.DetectReader(bytes.NewReader(doc.Text)); err != nil || got != want {
+					t.Errorf("doc %d: reader path = %+v (%v), detect = %+v", i, got, err, want)
+				}
+
+				st := det.NewStream()
+				for start := 0; start < len(doc.Text); start += 7 {
+					end := start + 7
+					if end > len(doc.Text) {
+						end = len(doc.Text)
+					}
+					st.Write(doc.Text[start:end])
+				}
+				if got := st.Match(); got != want {
+					t.Errorf("doc %d: stream path = %+v, detect = %+v", i, got, want)
+				}
+
+				if batch[i] != want {
+					t.Errorf("doc %d: batch path = %+v, detect = %+v", i, batch[i], want)
+				}
+
+				ranked := det.Rank(doc.Text, 0)
+				if len(ranked) != len(det.Languages()) {
+					t.Fatalf("doc %d: Rank returned %d entries for %d languages", i, len(ranked), len(det.Languages()))
+				}
+				if want.NGrams > 0 {
+					if ranked[0].Count != want.Count || ranked[0].Score != want.Score {
+						t.Errorf("doc %d: rank head %+v disagrees with detect %+v", i, ranked[0], want)
+					}
+					if !want.Unknown && ranked[0].Lang != want.Lang {
+						t.Errorf("doc %d: rank head language %q, detect %q", i, ranked[0].Lang, want.Lang)
+					}
+				}
+
+				if got := det.MatchResult(clf.Classify(doc.Text)); got != want {
+					t.Errorf("doc %d: classify-derived match = %+v, detect = %+v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBlockedNeverFalseNegativeVsDirect is the deterministic half of
+// the differential guarantee (the fuzz half lives in
+// FuzzBlockedNoFalseNegativesVsDirect): on real corpus documents,
+// every n-gram the exact direct table accepts must also be accepted
+// by the blocked filter, so the blocked per-language counts dominate
+// the exact counts.
+func TestBlockedNeverFalseNegativeVsDirect(t *testing.T) {
+	ps := trainMini(t, Config{TopT: 1000})
+	direct, err := New(ps, BackendDirect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := New(ps, BackendBlocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corp := getMiniCorpus(t)
+	for _, lang := range []string{"en", "es", "fi", "pt"} {
+		for _, doc := range corp.Test[lang][:5] {
+			gs := direct.ExtractGrams(nil, doc.Text)
+			for _, g := range gs {
+				for i := range direct.matchers {
+					if direct.matchers[i].Test(g) && !blocked.matchers[i].Test(g) {
+						t.Fatalf("blocked false negative: lang %s gram %#x", direct.langs[i], g)
+					}
+				}
+			}
+			dr, br := direct.Classify(doc.Text), blocked.Classify(doc.Text)
+			for i := range dr.Counts {
+				if br.Counts[i] < dr.Counts[i] {
+					t.Errorf("%s: blocked count %d below exact count %d for %s",
+						lang, br.Counts[i], dr.Counts[i], direct.langs[i])
+				}
+			}
+		}
+	}
+}
 
 // splitPoints returns deterministic pseudo-random cut offsets for a
 // document of length n.
@@ -33,7 +144,7 @@ func splitPoints(rng *rand.Rand, n, cuts int) []int {
 
 func TestStreamArbitraryChunkSplitsMatchOneShot(t *testing.T) {
 	ps := trainMini(t, Config{TopT: 1000})
-	for _, backend := range []Backend{BackendBloom, BackendDirect} {
+	for _, backend := range equivBackends {
 		c, err := New(ps, backend)
 		if err != nil {
 			t.Fatal(err)
@@ -63,22 +174,24 @@ func TestStreamArbitraryChunkSplitsMatchOneShot(t *testing.T) {
 // is hit explicitly.
 func TestStreamMidNGramBoundarySplits(t *testing.T) {
 	ps := trainMini(t, Config{TopT: 1000})
-	c, err := New(ps, BackendBloom)
-	if err != nil {
-		t.Fatal(err)
-	}
-	doc := getMiniCorpus(t).Test["es"][0].Text
-	if len(doc) > 64 {
-		doc = doc[:64]
-	}
-	want := c.Classify(doc)
-	s := c.NewStream()
-	for cut := 0; cut <= len(doc); cut++ {
-		s.Reset()
-		s.Write(doc[:cut])
-		s.Write(doc[cut:])
-		if got := s.Result(); !reflect.DeepEqual(got, want) {
-			t.Fatalf("cut at %d: stream %+v != one-shot %+v", cut, got, want)
+	for _, backend := range []Backend{BackendBloom, BackendBlocked} {
+		c, err := New(ps, backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := getMiniCorpus(t).Test["es"][0].Text
+		if len(doc) > 64 {
+			doc = doc[:64]
+		}
+		want := c.Classify(doc)
+		s := c.NewStream()
+		for cut := 0; cut <= len(doc); cut++ {
+			s.Reset()
+			s.Write(doc[:cut])
+			s.Write(doc[cut:])
+			if got := s.Result(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: cut at %d: stream %+v != one-shot %+v", backend, cut, got, want)
+			}
 		}
 	}
 }

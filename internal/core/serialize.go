@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"bloomlang/internal/bloom"
 	"bloomlang/internal/ngram"
 )
 
@@ -23,12 +24,28 @@ import (
 //
 //	magic "NGPS" | version u8 | config JSON len u32 | config JSON |
 //	profile count u32 | count * NGPF profile records
+//
+// Version 2 appends an optional materialized blocked-backend layout
+// after the profiles, so a daemon serving the blocked backend loads
+// pre-programmed filters instead of re-hashing every profile n-gram at
+// startup:
+//
+//	... | blocked flag u8 | [NGBK blocked set record when flag == 1]
+//
+// Version-1 files and legacy bare-NGPF streams remain readable; the
+// blocked layout is rebuilt from the profiles when absent.
 
 // profileSetMagic identifies the on-disk profile-set format.
 const profileSetMagic = "NGPS"
 
-// profileSetVersion is the current profile-set serialization version.
-const profileSetVersion = 1
+// Profile-set serialization versions: version 1 is config+profiles,
+// version 2 adds the optional blocked-layout section. WriteTo emits
+// version 1 (byte-identical to historical files); WriteToBlocked emits
+// version 2. Readers accept both.
+const (
+	profileSetVersion        = 1
+	profileSetVersionBlocked = 2
+)
 
 // maxConfigJSON bounds the config header a reader will accept.
 const maxConfigJSON = 1 << 20
@@ -37,12 +54,62 @@ const maxConfigJSON = 1 << 20
 // beyond any real language inventory.
 const maxProfileCount = 1 << 16
 
+// ErrCorruptProfiles tags every malformed-profile-data error from
+// ReadProfileSet, so callers can distinguish a damaged or truncated
+// file (errors.Is(err, ErrCorruptProfiles)) from I/O failures and
+// version mismatches. The wrapped message names the structure that
+// failed to parse and the likely cause.
+var ErrCorruptProfiles = errors.New("corrupt profile data")
+
+// corruptf builds a wrapped, actionable corrupt-input error.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("core: "+format+": %w", append(args, ErrCorruptProfiles)...)
+}
+
 // WriteTo serializes the profile set, configuration included, in the
-// NGPS binary format.
+// NGPS version-1 binary format.
 func (ps *ProfileSet) WriteTo(w io.Writer) (int64, error) {
+	return ps.writeTo(w, nil)
+}
+
+// WriteToBlocked serializes the profile set in the NGPS version-2
+// format with the blocked-backend layout embedded: the fused
+// cache-line-blocked filters are programmed once at write time (or
+// reused when the set already carries them) and written after the
+// profiles, so readers serving BackendBlocked skip programming
+// entirely. The output is byte-stable: the layout is a pure function
+// of the configuration and the profiles.
+func (ps *ProfileSet) WriteToBlocked(w io.Writer) (int64, error) {
+	set, err := ps.blockedLayout()
+	if err != nil {
+		return 0, err
+	}
+	return ps.writeTo(w, set)
+}
+
+// blockedLayout returns the set's materialized blocked layout,
+// building and caching it when absent.
+func (ps *ProfileSet) blockedLayout() (*bloom.BlockedSet, error) {
+	if ps.blocked != nil {
+		return ps.blocked, nil
+	}
+	cfg := ps.Config.WithDefaults()
+	set, err := buildBlockedSet(cfg, ps.Profiles)
+	if err != nil {
+		return nil, fmt.Errorf("core: building blocked layout: %w", err)
+	}
+	ps.blocked = set
+	return set, nil
+}
+
+func (ps *ProfileSet) writeTo(w io.Writer, blocked *bloom.BlockedSet) (int64, error) {
 	cfgJSON, err := json.Marshal(ps.Config)
 	if err != nil {
 		return 0, fmt.Errorf("core: encoding profile set config: %w", err)
+	}
+	version := uint8(profileSetVersion)
+	if blocked != nil {
+		version = profileSetVersionBlocked
 	}
 	bw := bufio.NewWriter(w)
 	var written int64
@@ -57,7 +124,7 @@ func (ps *ProfileSet) WriteTo(w io.Writer) (int64, error) {
 		written += int64(binary.Size(data))
 		return nil
 	}
-	if err := put(uint8(profileSetVersion)); err != nil {
+	if err := put(version); err != nil {
 		return written, err
 	}
 	if err := put(uint32(len(cfgJSON))); err != nil {
@@ -80,20 +147,39 @@ func (ps *ProfileSet) WriteTo(w io.Writer) (int64, error) {
 			return written, fmt.Errorf("core: writing profile %q: %w", p.Language, err)
 		}
 	}
+	if version >= profileSetVersionBlocked {
+		flag := []byte{0}
+		if blocked != nil {
+			flag[0] = 1
+		}
+		if _, err := w.Write(flag); err != nil {
+			return written, err
+		}
+		written++
+		if blocked != nil {
+			n, err := blocked.WriteTo(w)
+			written += n
+			if err != nil {
+				return written, fmt.Errorf("core: writing blocked layout: %w", err)
+			}
+		}
+	}
 	return written, nil
 }
 
-// ReadProfileSet deserializes a profile set written by WriteTo. For
-// compatibility with profile files produced before the set format
-// existed (bare concatenated NGPF records, as older cmd/langid train
-// wrote), a stream that starts with a profile record instead of the set
-// header is read as a legacy set under DefaultConfig adjusted to the
-// profiles' n.
+// ReadProfileSet deserializes a profile set written by WriteTo or
+// WriteToBlocked. For compatibility with profile files produced before
+// the set format existed (bare concatenated NGPF records, as older
+// cmd/langid train wrote), a stream that starts with a profile record
+// instead of the set header is read as a legacy set under
+// DefaultConfig adjusted to the profiles' n. Malformed input comes
+// back as a wrapped ErrCorruptProfiles naming the structure that
+// failed.
 func ReadProfileSet(r io.Reader) (*ProfileSet, error) {
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(len(profileSetMagic))
 	if err != nil {
-		return nil, fmt.Errorf("core: reading profile set magic: %w", err)
+		return nil, corruptf("profile data ends before the %d-byte NGPS magic (%d bytes available): file is empty or truncated", len(profileSetMagic), len(magic))
 	}
 	if string(magic) != profileSetMagic {
 		return readLegacyProfileSet(br)
@@ -103,25 +189,26 @@ func ReadProfileSet(r io.Reader) (*ProfileSet, error) {
 	}
 	var version uint8
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, err
+		return nil, corruptf("profile set header truncated after the magic (%v)", err)
 	}
-	if version != profileSetVersion {
-		return nil, fmt.Errorf("core: unsupported profile set version %d", version)
+	if version != profileSetVersion && version != profileSetVersionBlocked {
+		return nil, fmt.Errorf("core: unsupported profile set version %d (this build reads versions %d and %d; the file was written by a newer build or is corrupt)",
+			version, profileSetVersion, profileSetVersionBlocked)
 	}
 	var cfgLen uint32
 	if err := binary.Read(br, binary.LittleEndian, &cfgLen); err != nil {
-		return nil, err
+		return nil, corruptf("profile set header truncated before the config length (%v)", err)
 	}
 	if cfgLen > maxConfigJSON {
-		return nil, fmt.Errorf("core: profile set config claims %d bytes, refusing", cfgLen)
+		return nil, corruptf("profile set config claims %d bytes (limit %d), refusing", cfgLen, maxConfigJSON)
 	}
 	cfgJSON := make([]byte, cfgLen)
 	if _, err := io.ReadFull(br, cfgJSON); err != nil {
-		return nil, err
+		return nil, corruptf("profile set config truncated: wanted %d bytes (%v)", cfgLen, err)
 	}
 	var cfg Config
 	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
-		return nil, fmt.Errorf("core: decoding profile set config: %w", err)
+		return nil, corruptf("profile set config is not valid JSON (%v)", err)
 	}
 	cfg.applyDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -129,23 +216,53 @@ func ReadProfileSet(r io.Reader) (*ProfileSet, error) {
 	}
 	var count uint32
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, err
+		return nil, corruptf("profile set truncated before the profile count (%v)", err)
 	}
 	if count > maxProfileCount {
-		return nil, fmt.Errorf("core: profile set claims %d profiles, refusing", count)
+		return nil, corruptf("profile set claims %d profiles (limit %d), refusing", count, maxProfileCount)
 	}
 	ps := &ProfileSet{Config: cfg, Profiles: make([]*ngram.Profile, 0, count)}
 	for i := uint32(0); i < count; i++ {
 		p, err := ngram.ReadProfile(br)
 		if err != nil {
-			return nil, fmt.Errorf("core: reading profile %d of %d: %w", i+1, count, err)
+			return nil, corruptf("reading profile %d of %d: %v", i+1, count, err)
 		}
 		if p.N != cfg.N {
 			return nil, fmt.Errorf("core: profile %q has n=%d, set config has n=%d", p.Language, p.N, cfg.N)
 		}
 		ps.Profiles = append(ps.Profiles, p)
 	}
+	if version >= profileSetVersionBlocked {
+		if err := ps.readBlockedSection(br, cfg); err != nil {
+			return nil, err
+		}
+	}
 	return ps, nil
+}
+
+// readBlockedSection reads the version-2 blocked-layout section and
+// verifies it against the profiles just read.
+func (ps *ProfileSet) readBlockedSection(br *bufio.Reader, cfg Config) error {
+	var flag uint8
+	if err := binary.Read(br, binary.LittleEndian, &flag); err != nil {
+		return corruptf("profile set truncated before the blocked-layout flag (%v)", err)
+	}
+	switch flag {
+	case 0:
+		return nil
+	case 1:
+		set, err := bloom.ReadBlockedSet(br)
+		if err != nil {
+			return corruptf("reading embedded blocked layout: %v", err)
+		}
+		if err := checkBlockedLayout(cfg, ps, set); err != nil {
+			return corruptf("embedded blocked layout inconsistent with profiles: %v", err)
+		}
+		ps.blocked = set
+		return nil
+	default:
+		return corruptf("profile set blocked-layout flag is %d, want 0 or 1", flag)
+	}
 }
 
 // readLegacyProfileSet reads bare concatenated NGPF records until EOF.
@@ -160,7 +277,10 @@ func readLegacyProfileSet(br *bufio.Reader) (*ProfileSet, error) {
 			if errors.Is(err, io.EOF) && len(ps.Profiles) > 0 {
 				break
 			}
-			return nil, err
+			if len(ps.Profiles) == 0 {
+				return nil, corruptf("data is neither an NGPS profile set nor a legacy NGPF profile stream (%v)", err)
+			}
+			return nil, corruptf("legacy profile stream damaged after %d profiles (%v)", len(ps.Profiles), err)
 		}
 		ps.Config.N = p.N
 		ps.Profiles = append(ps.Profiles, p)
@@ -172,6 +292,17 @@ func readLegacyProfileSet(br *bufio.Reader) (*ProfileSet, error) {
 // the same directory is renamed into place, so a crash mid-write never
 // leaves a truncated profile file for a daemon to trip over.
 func (ps *ProfileSet) SaveFile(path string) error {
+	return ps.saveFile(path, (*ProfileSet).WriteTo)
+}
+
+// SaveFileBlocked writes the profile set to path atomically in the
+// version-2 format with the blocked-backend layout embedded; see
+// WriteToBlocked.
+func (ps *ProfileSet) SaveFileBlocked(path string) error {
+	return ps.saveFile(path, (*ProfileSet).WriteToBlocked)
+}
+
+func (ps *ProfileSet) saveFile(path string, write func(*ProfileSet, io.Writer) (int64, error)) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
@@ -181,7 +312,7 @@ func (ps *ProfileSet) SaveFile(path string) error {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := ps.WriteTo(tmp); err != nil {
+	if _, err := write(ps, tmp); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -199,7 +330,7 @@ func (ps *ProfileSet) SaveFile(path string) error {
 }
 
 // LoadProfileSetFile reads a profile set from a file written by
-// SaveFile (or a legacy bare-profile file).
+// SaveFile or SaveFileBlocked (or a legacy bare-profile file).
 func LoadProfileSetFile(path string) (*ProfileSet, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -44,15 +44,7 @@ func (s *DocumentStream) Write(p []byte) (int, error) {
 	alphabet.TranslateInto(codes, p)
 	s.grams = s.e.Feed(s.grams[:0], codes)
 	s.ngrams += len(s.grams)
-	for i, m := range s.c.matchers {
-		count := 0
-		for _, g := range s.grams {
-			if m.Test(g) {
-				count++
-			}
-		}
-		s.counts[i] += count
-	}
+	s.c.accumulateInto(s.counts, s.grams)
 	return len(p), nil
 }
 

@@ -615,3 +615,59 @@ func TestStatszCountsErrors(t *testing.T) {
 		t.Errorf("detect requests = %d, want 2", got)
 	}
 }
+
+// TestBlockedBackendServesIdentically mounts the server on the fused
+// blocked backend — with profiles reloaded from an NGPS v2 file
+// carrying the embedded blocked layout, the restart path a production
+// daemon takes — and checks that HTTP detections agree with the
+// default parallel-bloom server on every test language, and that
+// /statsz names the backend.
+func TestBlockedBackendServesIdentically(t *testing.T) {
+	_, ps := fixtures(t)
+	path := filepath.Join(t.TempDir(), "profiles_blocked.bin")
+	if err := ps.SaveFileBlocked(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadProfileSetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.HasBlockedLayout() {
+		t.Fatal("reloaded v2 profile file lost the blocked layout")
+	}
+	srv, err := serve.New(loaded, serve.Config{Backend: core.BackendBlocked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockedTS := httptest.NewServer(srv.Handler())
+	t.Cleanup(blockedTS.Close)
+	baselineTS, corp := newTestServer(t, serve.Config{})
+	for _, lang := range testLangs {
+		for i := 0; i < 3; i++ {
+			doc := corp.Test[lang][i].Text
+			want := postDetect(t, baselineTS, doc)
+			got := postDetect(t, blockedTS, doc)
+			if got.Language != want.Language {
+				t.Errorf("%s doc %d: blocked served %q, parallel-bloom served %q",
+					lang, i, got.Language, want.Language)
+			}
+			if got.NGrams != want.NGrams {
+				t.Errorf("%s doc %d: blocked tested %d n-grams, parallel-bloom %d",
+					lang, i, got.NGrams, want.NGrams)
+			}
+		}
+	}
+	resp, err := http.Get(blockedTS.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap serve.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Backend != "blocked-bloom" {
+		t.Errorf("statsz backend = %q, want %q", snap.Backend, "blocked-bloom")
+	}
+}

@@ -2,14 +2,23 @@
 # Run the Detect benchmarks and write the results as JSON so the
 # performance trajectory is tracked per PR. Usage:
 #
-#   scripts/bench.sh [OUT.json] [BENCHTIME]
+#   scripts/bench.sh [OUT.json] [BENCHTIME] [BASELINE.json]
 #
 # Defaults: OUT=BENCH.json, BENCHTIME=200ms (raise for stable numbers,
 # e.g. scripts/bench.sh BENCH_pr3.json 1s).
+#
+# When BASELINE.json (a previous run's output, e.g. the committed
+# BENCH_pr3.json) is given, the single-document Detect hot-path
+# benchmarks (BenchmarkDetector and BenchmarkDetectorBackends/*) are
+# diffed against it and the run fails if any benchmark present in both
+# files regressed by more than REGRESSION_PCT (default 20%). Backends
+# new in this run have no baseline entry and are reported, not gated.
 set -euo pipefail
 
 out=${1:-BENCH.json}
 benchtime=${2:-200ms}
+baseline=${3:-}
+regression_pct=${REGRESSION_PCT:-20}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -19,6 +28,9 @@ awk -v goversion="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }
 /^Benchmark/ && NF >= 3 {
   name = $1; iters = $2; ns = ""; bop = ""; aop = ""
+  # Strip the -GOMAXPROCS suffix go test appends on multi-core
+  # machines, so result names are machine-independent and diffable.
+  sub(/-[0-9]+$/, "", name)
   for (i = 3; i < NF; i++) {
     if ($(i+1) == "ns/op") ns = $i
     if ($(i+1) == "B/op") bop = $i
@@ -43,3 +55,53 @@ END {
 count=$(grep -c '"name"' "$out" || true)
 [ "$count" -gt 0 ] || { echo "bench: no benchmark results parsed" >&2; exit 1; }
 echo "bench: wrote $count results to $out" >&2
+
+if [ -n "$baseline" ]; then
+  if [ ! -r "$baseline" ]; then
+    echo "bench: baseline $baseline not readable" >&2
+    exit 1
+  fi
+  echo "bench: gating Detect hot path against $baseline (limit +${regression_pct}%)" >&2
+  awk -v pct="$regression_pct" '
+  # Both files use the one-benchmark-per-line format this script writes,
+  # so a line-oriented parse is enough: pull out name and ns_per_op.
+  function parse(line) {
+    name = ""; ns = ""
+    if (match(line, /"name": "[^"]+"/)) {
+      name = substr(line, RSTART + 9, RLENGTH - 10)
+      # Tolerate baselines written before the -GOMAXPROCS suffix was
+      # stripped at generation time.
+      sub(/-[0-9]+$/, "", name)
+    }
+    if (match(line, /"ns_per_op": [0-9.]+/)) {
+      ns = substr(line, RSTART + 13, RLENGTH - 13)
+    }
+  }
+  # Gate the single-document Detect hot path; Rank/Batch allocate or
+  # fan out by design and are tracked but not gated.
+  function gated(name) {
+    return name == "BenchmarkDetector" || name ~ /^BenchmarkDetectorBackends\//
+  }
+  NR == FNR {
+    parse($0)
+    if (name != "" && ns != "") base[name] = ns
+    next
+  }
+  {
+    parse($0)
+    if (name == "" || ns == "" || !gated(name)) next
+    if (!(name in base)) {
+      printf "bench:   new   %-45s %12.0f ns/op (no baseline)\n", name, ns
+      next
+    }
+    delta = 100 * (ns - base[name]) / base[name]
+    status = "ok"
+    if (delta > pct) { status = "REGRESSED"; failed = 1 }
+    printf "bench:   %-5s %-45s %12.0f -> %.0f ns/op (%+.1f%%)\n", status, name, base[name], ns, delta
+  }
+  END { exit failed ? 1 : 0 }
+  ' "$baseline" "$out" >&2 || {
+    echo "bench: Detect regressed more than ${regression_pct}% against $baseline" >&2
+    exit 1
+  }
+fi
