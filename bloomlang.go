@@ -113,6 +113,23 @@ func WithMinMargin(m float64) DetectorOption { return core.WithMinMargin(m) }
 // than n testable n-grams.
 func WithMinNGrams(n int) DetectorOption { return core.WithMinNGrams(n) }
 
+// Span is one contiguous single-language region of a segmented
+// document: the half-open byte range [Start, End), the language called
+// for it, and the mean windowed confidence behind the call. Produced
+// by (*Detector).DetectSpans and friends; spans always tile
+// [0, len(doc)) with no gaps or overlaps.
+type Span = core.Span
+
+// SegmentConfig carries the sliding-window segmentation knobs
+// (window/stride in n-grams, boundary hysteresis, count smoothing);
+// the zero value selects the defaults.
+type SegmentConfig = core.SegmentConfig
+
+// SpanStream segments one document incrementally: Write bytes in any
+// chunking, read finalized spans as boundaries are confirmed, Finish
+// to close the document. Created by (*Detector).NewSpanStream.
+type SpanStream = core.SpanStream
+
 // Classifier tests document n-grams against every language profile and
 // reports match counts (§3.2).
 //
@@ -178,6 +195,24 @@ type Document = corpus.Document
 // internal/corpus for the substitution rationale).
 func GenerateCorpus(cfg CorpusConfig) (*Corpus, error) {
 	return corpus.Generate(cfg)
+}
+
+// MixedCorpusConfig describes a deterministic mixed-language document
+// set: seeded concatenations of per-language segments with known byte
+// boundaries, the ground truth segmentation is evaluated against.
+type MixedCorpusConfig = corpus.MixedConfig
+
+// MixedDocument is one generated mixed-language document with its
+// ground-truth segment tiling.
+type MixedDocument = corpus.MixedDocument
+
+// MixedSegment is one ground-truth region of a mixed document.
+type MixedSegment = corpus.MixedSegment
+
+// GenerateMixedCorpus builds the mixed-language document set described
+// by cfg (see cmd/corpusgen -mixed for the on-disk form).
+func GenerateMixedCorpus(cfg MixedCorpusConfig) ([]MixedDocument, error) {
+	return corpus.GenerateMixed(cfg)
 }
 
 // PaperCorpusConfig returns the full-scale corpus shape of §5:

@@ -8,12 +8,26 @@
 // Usage:
 //
 //	corpusgen -out corpus [-docs 570] [-words 1300] [-train 0.1] [-seed 1] [-langs es,pt,en]
+//
+// With -mixed N it additionally synthesizes N deterministic
+// mixed-language documents — seeded concatenations of per-language
+// segments with known byte boundaries — under out/mixed/, each with a
+// sidecar ground-truth file, the evaluation set for langid segment and
+// the segmentation golden gate:
+//
+//	out/mixed/000000.txt         the document
+//	out/mixed/000000.spans.json  [{"lang":"es","start":0,"end":412}, ...]
+//
+//	corpusgen -out corpus -mixed 20 [-mixed-segments 3] [-mixed-words 60]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"bloomlang"
@@ -28,6 +42,9 @@ func main() {
 	train := flag.Float64("train", 0.10, "training split fraction")
 	seed := flag.Int64("seed", 1, "generation seed")
 	langs := flag.String("langs", "", "comma-separated language codes (default: all ten)")
+	mixed := flag.Int("mixed", 0, "also generate this many mixed-language documents under out/mixed")
+	mixedSegments := flag.Int("mixed-segments", 3, "single-language segments per mixed document")
+	mixedWords := flag.Int("mixed-words", 60, "mean words per mixed-document segment")
 	flag.Parse()
 
 	cfg := bloomlang.CorpusConfig{
@@ -57,4 +74,47 @@ func main() {
 		fmt.Printf("  %-3s %s: %d train, %d test\n",
 			lang, bloomlang.LanguageName(lang), len(corp.Train[lang]), len(corp.Test[lang]))
 	}
+
+	if *mixed > 0 {
+		if err := writeMixed(*out, bloomlang.MixedCorpusConfig{
+			Languages:       cfg.Languages,
+			Docs:            *mixed,
+			SegmentsPerDoc:  *mixedSegments,
+			WordsPerSegment: *mixedWords,
+			Seed:            *seed,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeMixed generates the mixed-language set and writes each document
+// next to its ground-truth segmentation.
+func writeMixed(out string, cfg bloomlang.MixedCorpusConfig) error {
+	docs, err := bloomlang.GenerateMixedCorpus(cfg)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(out, "mixed")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var bytes int64
+	for _, d := range docs {
+		base := filepath.Join(dir, fmt.Sprintf("%06d", d.ID))
+		if err := os.WriteFile(base+".txt", d.Text, 0o644); err != nil {
+			return err
+		}
+		truth, err := json.MarshalIndent(d.Segments, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(base+".spans.json", append(truth, '\n'), 0o644); err != nil {
+			return err
+		}
+		bytes += int64(len(d.Text))
+	}
+	fmt.Printf("wrote %d mixed documents (%d segments each, %.1f KB) under %s\n",
+		len(docs), cfg.SegmentsPerDoc, float64(bytes)/1e3, dir)
+	return nil
 }

@@ -25,6 +25,14 @@
 //
 //	langid classify -profiles profiles.bin [-k 4] [-m 16384] [-backend bloom|direct|classic|blocked] file1.txt file2.txt
 //	echo "el consejo de la unión europea" | langid classify -profiles profiles.bin
+//
+// Segment mixed-language files into per-language spans (or stdin when
+// no files are given); -tsv emits machine-readable rows, -color paints
+// the document text span by span:
+//
+//	langid segment -profiles profiles.bin [-backend blocked] [-window 64] [-stride 16] file1.txt
+//	langid segment -profiles profiles.bin -tsv file1.txt | cut -f4
+//	langid segment -profiles profiles.bin -color mixed.txt
 package main
 
 import (
@@ -52,6 +60,8 @@ func main() {
 		profiles(os.Args[2:])
 	case "classify":
 		classify(os.Args[2:])
+	case "segment":
+		segment(os.Args[2:])
 	case "eval":
 		eval(os.Args[2:])
 	default:
@@ -60,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: langid train|profiles|classify|eval [flags] [files...]")
+	fmt.Fprintln(os.Stderr, "usage: langid train|profiles|classify|segment|eval [flags] [files...]")
 	os.Exit(2)
 }
 
@@ -339,6 +349,128 @@ func classify(args []string) {
 			log.Fatal(err)
 		}
 		classifyOne(path, text)
+	}
+}
+
+// segment splits mixed-language files into contiguous single-language
+// spans — the traffic shape classify's single label gets wrong.
+func segment(args []string) {
+	fs := flag.NewFlagSet("segment", flag.ExitOnError)
+	profilePath := fs.String("profiles", "profiles.bin", "trained profile file")
+	k := fs.Int("k", 4, "hash functions per Bloom filter")
+	m := fs.Uint("m", 16*1024, "bits per Bloom filter vector (power of two)")
+	backend := fs.String("backend", "bloom", "membership backend: bloom, direct, classic or blocked")
+	minMargin := fs.Float64("min-margin", 0, "mark spans unknown below this normalized window margin")
+	minNGrams := fs.Int("min-ngrams", 1, "answer unknown below this many testable n-grams")
+	window := fs.Int("window", 0, "segmentation window in n-grams (0 = default 64)")
+	stride := fs.Int("stride", 0, "window hop in n-grams, must divide window (0 = window/4)")
+	hysteresis := fs.Int("hysteresis", 0, "windows a new language must persist before a boundary (0 = default 2)")
+	smoothing := fs.Float64("smoothing", 0, "window count smoothing in [0,1)")
+	tsv := fs.Bool("tsv", false, "tab-separated output: file, start, end, lang, score, margin")
+	colored := fs.Bool("color", false, "print the document text with one ANSI color per language")
+	fs.Parse(args)
+
+	ps, err := loadProfiles(*profilePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	applyFilterFlags(fs, ps, *k, uint32(*m))
+	be, err := bloomlang.ParseBackend(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := bloomlang.NewDetector(ps,
+		bloomlang.WithBackend(be),
+		bloomlang.WithMinMargin(*minMargin),
+		bloomlang.WithMinNGrams(*minNGrams))
+	if err != nil {
+		log.Fatal(err)
+	}
+	segCfg := bloomlang.SegmentConfig{
+		Window:     *window,
+		Stride:     *stride,
+		Hysteresis: *hysteresis,
+		Smoothing:  *smoothing,
+	}
+	if err := segCfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	segmentOne := func(name string, text []byte) {
+		spans, err := det.DetectSpans(text, segCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case *tsv:
+			for _, sp := range spans {
+				lang := sp.Lang
+				if sp.Unknown {
+					lang = "?"
+				}
+				fmt.Printf("%s\t%d\t%d\t%s\t%.3f\t%.3f\n", name, sp.Start, sp.End, lang, sp.Score, sp.Margin)
+			}
+		case *colored:
+			printColored(text, spans)
+		default:
+			fmt.Printf("%s: %d spans over %d bytes\n", name, len(spans), len(text))
+			for _, sp := range spans {
+				if sp.Unknown {
+					fmt.Printf("  %6d-%-6d unknown (score %.3f, margin %.3f)\n", sp.Start, sp.End, sp.Score, sp.Margin)
+					continue
+				}
+				fmt.Printf("  %6d-%-6d %-3s %-12s score %.3f, margin %.3f\n",
+					sp.Start, sp.End, sp.Lang, bloomlang.LanguageName(sp.Lang), sp.Score, sp.Margin)
+			}
+		}
+	}
+
+	if fs.NArg() == 0 {
+		text, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		segmentOne("stdin", text)
+		return
+	}
+	for _, path := range fs.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		segmentOne(path, text)
+	}
+}
+
+// spanPalette cycles distinguishable ANSI foreground colors; unknown
+// spans render dim.
+var spanPalette = []string{"31", "32", "33", "34", "35", "36", "91", "92", "93", "94", "95", "96"}
+
+// printColored paints each span of the document in a color assigned to
+// its language in order of first appearance.
+func printColored(text []byte, spans []bloomlang.Span) {
+	colors := map[string]string{}
+	var order []string
+	for _, sp := range spans {
+		body := text[sp.Start:sp.End]
+		if sp.Unknown {
+			fmt.Printf("\x1b[2m%s\x1b[0m", body)
+			continue
+		}
+		c, ok := colors[sp.Lang]
+		if !ok {
+			c = spanPalette[len(colors)%len(spanPalette)]
+			colors[sp.Lang] = c
+			order = append(order, sp.Lang)
+		}
+		fmt.Printf("\x1b[%sm%s\x1b[0m", c, body)
+	}
+	fmt.Println()
+	for _, lang := range order {
+		fmt.Printf("\x1b[%sm■\x1b[0m %s (%s)  ", colors[lang], lang, bloomlang.LanguageName(lang))
+	}
+	if len(order) > 0 {
+		fmt.Println()
 	}
 }
 

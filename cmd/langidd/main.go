@@ -25,7 +25,10 @@
 //
 //	langidd -synthetic -save profiles.bin
 //
-// Endpoints: POST /detect, POST /batch, POST /stream (NDJSON),
+// Endpoints: POST /detect, POST /batch, POST /stream (NDJSON; ?spans=1
+// adds per-document mixed-language spans), POST /segment
+// (mixed-language span tiling; geometry via -segment-window,
+// -segment-stride, -segment-hysteresis, -segment-smoothing),
 // GET /healthz, GET /statsz, and — when registry-backed —
 // GET /admin/profiles and POST /admin/reload. Failed requests are
 // answered with JSON error bodies (413 for oversized bodies, 408 for
@@ -72,6 +75,10 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "max time to write one response, including long /stream downloads (0 = unlimited)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout (0 = unlimited)")
 	counts := flag.Bool("counts", false, "include per-language match counts in batch/stream responses")
+	segWindow := flag.Int("segment-window", 0, "/segment sliding window in n-grams (0 = default 64)")
+	segStride := flag.Int("segment-stride", 0, "/segment window hop in n-grams, must divide the window (0 = window/4)")
+	segHysteresis := flag.Int("segment-hysteresis", 0, "/segment windows a new language must persist before a boundary (0 = default 2)")
+	segSmoothing := flag.Float64("segment-smoothing", 0, "/segment window count smoothing in [0,1)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	flag.Parse()
 
@@ -91,6 +98,15 @@ func main() {
 		WriteTimeout:  *writeTimeout,
 		IdleTimeout:   *idleTimeout,
 		IncludeCounts: *counts,
+		Segment: bloomlang.SegmentConfig{
+			Window:     *segWindow,
+			Stride:     *segStride,
+			Hysteresis: *segHysteresis,
+			Smoothing:  *segSmoothing,
+		},
+	}
+	if err := cfg.Segment.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
 	srv, version, err := buildServer(profileSource{

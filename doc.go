@@ -99,6 +99,68 @@
 // streams remain readable, and damaged files fail with errors tagged
 // ErrCorruptProfiles.
 //
+// # Segmentation
+//
+// Real traffic is full of mixed-language documents — quoted replies,
+// code-switched chat, bilingual pages — where one label is simply
+// wrong. DetectSpans answers with a tiling of contiguous
+// single-language spans instead:
+//
+//	spans, _ := det.DetectSpans(doc, bloomlang.SegmentConfig{})
+//	for _, sp := range spans {
+//		fmt.Printf("[%d,%d) %s score %.2f\n", sp.Start, sp.End, sp.Lang, sp.Score)
+//	}
+//
+// The mechanism reuses the match-counting inner loop unchanged and
+// runs it exactly once per document: the n-gram stream is cut into
+// Stride-sized chunks, each chunk's per-language counts accumulate
+// through the classifier's single counting pass (the fused blocked
+// kernel scores all languages per n-gram; the other backends walk
+// their Matcher loops), and a sliding window of Window n-grams is the
+// rolling sum of a Window/Stride-row ring — add the newest chunk,
+// subtract the oldest. No n-gram is ever re-extracted or re-hashed
+// for a second window, so on the blocked backend segmenting costs
+// barely more than one Detect, at 0 allocs/op warm (AppendSpans with
+// a reused destination; see BenchmarkDetectSpans).
+//
+// Window arg-max decisions pass through hysteresis before a boundary
+// is believed: a new language must win Hysteresis consecutive windows,
+// and interrupted challenges fold back into the incumbent, so one
+// noisy window never fragments a span. Boundaries are attributed to
+// the center of the first window that voted for the new language and
+// land within about one stride of the decision flip. Optional
+// Smoothing (an EWMA over window counts) further steadies boundaries
+// on choppy text. Windows that fail the detector's MinMargin /
+// MinNGrams policy become explicit Unknown spans. The returned spans
+// always tile [0, len(doc)) with no gaps or overlaps; a document
+// shorter than one window is decided whole, exactly as Detect decides
+// it.
+//
+// All four backends segment; geometry is per call:
+//
+//	SegmentConfig{Window: 96, Stride: 24}  // finer boundaries: smaller Stride
+//	SegmentConfig{Hysteresis: 3}           // calmer boundaries: more persistence
+//	SegmentConfig{Smoothing: 0.5}          // steadier arg-max on choppy text
+//
+// Streaming and reader variants mirror the detection paths —
+// DetectSpansReader for bounded-memory files, NewSpanStream for
+// incremental feeds (Write chunks in any splits; Spans returns the
+// boundaries finalized so far, Finish closes the document; identical
+// output to one-shot for identical bytes):
+//
+//	st, _ := det.NewSpanStream(bloomlang.SegmentConfig{})
+//	st.Write(chunk)
+//	done := st.Spans()     // finalized so far
+//	all := st.Finish()     // the complete tiling
+//
+// The segmentation quality gate lives in testdata/golden_segments.json:
+// deterministic mixed-language documents with known boundaries
+// (cmd/corpusgen -mixed writes the same ground truth to disk) and
+// per-language byte-F1 floors every backend must clear. From the
+// command line, langid segment prints, tabulates (-tsv) or colors
+// (-color) a file's spans; over HTTP, POST /segment returns the span
+// tiling and /stream?spans=1 attaches spans to every NDJSON result.
+//
 // # Architecture
 //
 // The library is organized as the paper's system is:
@@ -178,6 +240,10 @@
 //	POST /stream          NDJSON documents        -> NDJSON detections,
 //	                      classified incrementally with bounded memory,
 //	                      one result line flushed per input line
+//	                      (?spans=1 adds each document's span tiling)
+//	POST /segment         one raw document        -> its mixed-language
+//	                      span tiling (window/stride geometry from
+//	                      ServeConfig.Segment), spans counted on /statsz
 //	GET  /healthz         liveness probe
 //	GET  /statsz          request/byte/latency/unknown counters + version
 //	GET  /admin/profiles  registry versions, serving vs active version

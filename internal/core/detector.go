@@ -89,6 +89,7 @@ type Detector struct {
 	minMargin float64
 	minNGrams int
 	pool      sync.Pool // of *scratch
+	segPool   sync.Pool // of *SpanStream, for the one-shot segmentation paths
 }
 
 // scratch is the per-call working set: the translated-code buffer, the

@@ -9,6 +9,8 @@
 //	POST /detect          body = one raw document        -> one JSON Detection
 //	POST /batch           body = JSON array of documents -> JSON array of Detections
 //	POST /stream          body = NDJSON documents        -> NDJSON Detections, incremental
+//	                      (?spans=1 adds the per-document mixed-language spans)
+//	POST /segment         body = one raw document        -> JSON Segmentation (spans)
 //	GET  /healthz         liveness probe                 -> 200 "ok"
 //	GET  /statsz          request/byte/latency counters  -> JSON Snapshot
 //	GET  /admin/profiles  profile versions + active      -> JSON ProfilesStatus (registry-backed servers)
@@ -34,6 +36,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -67,6 +70,10 @@ type Config struct {
 	// IncludeCounts adds per-language match counts to every Detection
 	// (always included on /detect).
 	IncludeCounts bool
+	// Segment carries the sliding-window geometry /segment and the
+	// /stream spans mode run under; the zero value selects the core
+	// defaults. Invalid geometry fails server construction.
+	Segment core.SegmentConfig
 	// ReadTimeout bounds reading a whole request (header + body) on
 	// servers built by HTTPServer; 0 means no limit. A tripped read
 	// deadline surfaces as a 408 JSON error. Long-lived /stream uploads
@@ -109,6 +116,7 @@ type Server struct {
 	detect        endpointStats
 	batch         endpointStats
 	stream        endpointStats
+	segment       endpointStats
 	healthz       endpointStats
 	statsz        endpointStats
 	adminProfiles endpointStats
@@ -120,6 +128,9 @@ type Server struct {
 // reloaded.
 func New(ps *core.ProfileSet, cfg Config) (*Server, error) {
 	cfg.applyDefaults()
+	if err := cfg.Segment.Validate(); err != nil {
+		return nil, err
+	}
 	clf, err := core.New(ps, cfg.Backend)
 	if err != nil {
 		return nil, err
@@ -243,6 +254,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/detect", s.measure(&s.detect, http.MethodPost, s.handleDetect))
 	mux.Handle("/batch", s.measure(&s.batch, http.MethodPost, s.handleBatch))
 	mux.Handle("/stream", s.measure(&s.stream, http.MethodPost, s.handleStream))
+	mux.Handle("/segment", s.measure(&s.segment, http.MethodPost, s.handleSegment))
 	mux.Handle("/healthz", s.measure(&s.healthz, http.MethodGet, s.handleHealthz))
 	mux.Handle("/statsz", s.measure(&s.statsz, http.MethodGet, s.handleStatsz))
 	if s.reg != nil {
@@ -281,6 +293,7 @@ func (s *Server) Stats() Snapshot {
 			"/detect":  s.detect.snapshot(),
 			"/batch":   s.batch.snapshot(),
 			"/stream":  s.stream.snapshot(),
+			"/segment": s.segment.snapshot(),
 			"/healthz": s.healthz.snapshot(),
 			"/statsz":  s.statsz.snapshot(),
 		},
@@ -356,8 +369,64 @@ type Detection struct {
 	Unknown bool `json:"unknown,omitempty"`
 	// Counts holds per-language match counts, when requested.
 	Counts map[string]int `json:"counts,omitempty"`
+	// Spans holds the document's mixed-language segmentation, when
+	// requested (/stream with ?spans=1).
+	Spans []SpanDetection `json:"spans,omitempty"`
 	// Error reports a per-document failure on /stream.
 	Error string `json:"error,omitempty"`
+}
+
+// SpanDetection is one contiguous single-language region in a
+// segmentation response: the half-open byte range [start, end) of the
+// request document and the language called for it.
+type SpanDetection struct {
+	// Start is the first byte of the span.
+	Start int `json:"start"`
+	// End is the byte after the last byte of the span.
+	End int `json:"end"`
+	// Language is the span's language code, or "" when unknown.
+	Language string `json:"language"`
+	// Name is the English language name, when known.
+	Name string `json:"name,omitempty"`
+	// Score is the mean windowed confidence over the span.
+	Score float64 `json:"score"`
+	// Margin is the mean windowed winner margin over the span.
+	Margin float64 `json:"margin"`
+	// Unknown reports that no language cleared the confidence
+	// thresholds for this region.
+	Unknown bool `json:"unknown,omitempty"`
+}
+
+// Segmentation is the /segment response: the document's span tiling
+// under the server's segmentation geometry.
+type Segmentation struct {
+	// Bytes is the length of the segmented document.
+	Bytes int `json:"bytes"`
+	// Window and Stride echo the effective segmentation geometry in
+	// n-grams, so clients can interpret boundary granularity.
+	Window int `json:"window"`
+	Stride int `json:"stride"`
+	// Spans tile [0, Bytes) in order.
+	Spans []SpanDetection `json:"spans"`
+}
+
+// spanDetections converts core spans to the wire shape, counting them
+// on the endpoint's span counter.
+func spanDetections(spans []core.Span, st *endpointStats) []SpanDetection {
+	out := make([]SpanDetection, len(spans))
+	for i, sp := range spans {
+		out[i] = SpanDetection{
+			Start:    sp.Start,
+			End:      sp.End,
+			Language: sp.Lang,
+			Name:     corpus.Name(sp.Lang),
+			Score:    sp.Score,
+			Margin:   sp.Margin,
+			Unknown:  sp.Unknown,
+		}
+	}
+	st.spans.Add(int64(len(spans)))
+	return out
 }
 
 // detection converts a Match into the wire shape, attaching per-language
@@ -407,6 +476,41 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request, st *endpoi
 	}
 	st.docs.Add(1)
 	writeJSON(w, s.detection(det, "", m, res.Counts, st))
+}
+
+// handleSegment segments one raw document into contiguous
+// single-language spans under the server's segmentation geometry —
+// the mixed-language answer /detect cannot give. Like every endpoint
+// it runs against one detector snapshot, so segmentation is stable
+// across concurrent profile hot swaps.
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request, st *endpointStats) {
+	det := s.handle.Detector()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		httpReadError(w, err)
+		return
+	}
+	st.bytes.Add(int64(len(body)))
+	if len(body) == 0 {
+		jsonError(w, http.StatusUnprocessableEntity, "document is empty")
+		return
+	}
+	spans, err := det.DetectSpans(body, s.cfg.Segment)
+	if err != nil {
+		// Geometry is validated at construction on the New path; an
+		// error here means an embedder handed NewFromClassifier a bad
+		// config.
+		jsonError(w, http.StatusInternalServerError, "segmentation misconfigured: "+err.Error())
+		return
+	}
+	st.docs.Add(1)
+	eff := s.cfg.Segment.WithDefaults()
+	writeJSON(w, Segmentation{
+		Bytes:  len(body),
+		Window: eff.Window,
+		Stride: eff.Stride,
+		Spans:  spanDetections(spans, st),
+	})
 }
 
 // batchDoc accepts either a bare JSON string or {"id": ..., "text": ...}.
@@ -477,9 +581,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, st *endpoin
 // reset at each document boundary — the software mirror of the
 // hardware's End-of-Document marker in the DMA stream (§3.3). The
 // stream keeps its request-start detector for its whole life, even
-// across hot swaps.
+// across hot swaps. With ?spans=1 every result line also carries the
+// document's mixed-language segmentation, produced by one SpanStream
+// reset per document; the stream's running totals double as the
+// document-level detection, so spans mode still extracts and hashes
+// each n-gram exactly once and makes no per-line copies.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, st *endpointStats) {
 	det := s.handle.Detector()
+	var spanStream *core.SpanStream
+	if queryFlag(r, "spans") {
+		var err error
+		if spanStream, err = det.NewSpanStream(s.cfg.Segment); err != nil {
+			// Geometry is validated at construction on the New path; an
+			// error here means an embedder handed NewFromClassifier a bad
+			// config.
+			jsonError(w, http.StatusInternalServerError, "segmentation misconfigured: "+err.Error())
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	// Result lines go out while request lines are still coming in; for
 	// HTTP/1 the server would otherwise cut off the request body at the
@@ -487,7 +606,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, st *endpoi
 	http.NewResponseController(w).EnableFullDuplex()
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	ds := det.NewStream()
+	var ds *core.Stream
+	if spanStream == nil {
+		ds = det.NewStream()
+	}
 	sc := bufio.NewScanner(r.Body)
 	// Scanner's effective cap is max(cap(buf), max), so the initial
 	// buffer must not exceed the configured line limit.
@@ -507,14 +629,29 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, st *endpoi
 			continue
 		}
 		st.bytes.Add(int64(len(doc.Text)))
-		ds.Reset()
-		io.WriteString(ds, doc.Text)
 		st.docs.Add(1)
+		var m core.Match
+		var result func() core.Result
+		var spans []core.Span
+		if spanStream != nil {
+			spanStream.Reset()
+			io.WriteString(spanStream, doc.Text)
+			spans = spanStream.Finish()
+			m, result = spanStream.Match(), spanStream.Result
+		} else {
+			ds.Reset()
+			io.WriteString(ds, doc.Text)
+			m, result = ds.Match(), ds.Result
+		}
 		var counts []int
 		if s.cfg.IncludeCounts {
-			counts = ds.Result().Counts
+			counts = result().Counts
 		}
-		enc.Encode(s.detection(det, doc.ID, ds.Match(), counts, st))
+		d := s.detection(det, doc.ID, m, counts, st)
+		if spanStream != nil {
+			d.Spans = spanDetections(spans, st)
+		}
+		enc.Encode(d)
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -573,6 +710,13 @@ func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request, st *e
 		return
 	}
 	writeJSON(w, status)
+}
+
+// queryFlag reports whether a boolean query parameter is set truthy
+// ("1", "true", "t", ...).
+func queryFlag(r *http.Request, name string) bool {
+	v, err := strconv.ParseBool(r.URL.Query().Get(name))
+	return err == nil && v
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

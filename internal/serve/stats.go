@@ -12,6 +12,7 @@ type endpointStats struct {
 	bytes     atomic.Int64
 	errors    atomic.Int64
 	unknown   atomic.Int64
+	spans     atomic.Int64
 	latencyNS atomic.Int64
 }
 
@@ -22,6 +23,7 @@ func (e *endpointStats) snapshot() EndpointSnapshot {
 		Bytes:    e.bytes.Load(),
 		Errors:   e.errors.Load(),
 		Unknown:  e.unknown.Load(),
+		Spans:    e.spans.Load(),
 	}
 	if s.Requests > 0 {
 		s.AvgLatencyMicros = float64(e.latencyNS.Load()) / float64(s.Requests) / 1e3
@@ -43,6 +45,10 @@ type EndpointSnapshot struct {
 	// (below-threshold) classification — counted separately so operators
 	// can watch confidence drift without parsing responses.
 	Unknown int64 `json:"unknown"`
+	// Spans is the number of segmentation spans emitted (/segment, and
+	// /stream in spans mode) — span volume per document is the
+	// operator's view of how mixed the traffic is.
+	Spans int64 `json:"spans,omitempty"`
 	// AvgLatencyMicros is the mean request latency in microseconds.
 	AvgLatencyMicros float64 `json:"avg_latency_micros"`
 }

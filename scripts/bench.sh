@@ -77,10 +77,11 @@ if [ -n "$baseline" ]; then
       ns = substr(line, RSTART + 13, RLENGTH - 13)
     }
   }
-  # Gate the single-document Detect hot path; Rank/Batch allocate or
-  # fan out by design and are tracked but not gated.
+  # Gate the single-document Detect hot path and the segmentation hot
+  # path; Rank/Batch allocate or fan out by design and are tracked but
+  # not gated.
   function gated(name) {
-    return name == "BenchmarkDetector" || name ~ /^BenchmarkDetectorBackends\//
+    return name == "BenchmarkDetector" || name ~ /^BenchmarkDetectorBackends\// || name ~ /^BenchmarkDetectSpans\//
   }
   NR == FNR {
     parse($0)

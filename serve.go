@@ -15,6 +15,12 @@ type Server = serve.Server
 // Detection is one classified document in a serving response.
 type Detection = serve.Detection
 
+// SpanDetection is one mixed-language span in a serving response.
+type SpanDetection = serve.SpanDetection
+
+// Segmentation is the /segment response: a document's span tiling.
+type Segmentation = serve.Segmentation
+
 // ServeStats is the /statsz counter snapshot.
 type ServeStats = serve.Snapshot
 
